@@ -1,0 +1,70 @@
+"""Engine microbenchmarks: simulator and generator throughput.
+
+These are conventional pytest-benchmark timings (multiple rounds) rather
+than figure reproductions — they track the performance of the cycle loop
+and the trace generator across changes.
+"""
+
+from repro.config import baseline_config
+from repro.core.processor import Processor
+from repro.policies import make_policy
+from repro.trace.categories import category_profile
+from repro.trace.synthesis import SyntheticProgram, generate_trace
+
+
+def _traces(n_uops=4000):
+    a = generate_trace(
+        category_profile("ISPEC00", "ilp"), seed=3, n_uops=n_uops, kind="ilp"
+    )
+    b = generate_trace(
+        category_profile("FSPEC00", "ilp"), seed=5, n_uops=n_uops, kind="ilp"
+    )
+    return [a, b]
+
+
+def bench_cycle_loop_icount(benchmark):
+    traces = _traces()
+    config = baseline_config()
+
+    def run():
+        proc = Processor(config, make_policy("icount"), traces)
+        while not proc.any_done() and proc.cycle < 100_000:
+            proc.step()
+        return proc.stats.committed
+
+    committed = benchmark(run)
+    assert committed > 0
+
+
+def bench_cycle_loop_cdprf(benchmark):
+    traces = _traces()
+    config = baseline_config()
+
+    def run():
+        proc = Processor(config, make_policy("cdprf", interval=1024), traces)
+        while not proc.any_done() and proc.cycle < 100_000:
+            proc.step()
+        return proc.stats.committed
+
+    committed = benchmark(run)
+    assert committed > 0
+
+
+def bench_trace_generation(benchmark):
+    profile = category_profile("server", "mem")
+
+    def gen():
+        return len(generate_trace(profile, seed=11, n_uops=20_000))
+
+    n = benchmark(gen)
+    assert n == 20_000
+
+
+def bench_program_construction(benchmark):
+    profile = category_profile("office", "ilp")
+
+    def build():
+        return len(SyntheticProgram(profile, seed=7).blocks)
+
+    blocks = benchmark(build)
+    assert blocks == profile.n_blocks

@@ -1,0 +1,14 @@
+"""Table 2: build the benchmark pool and report its structure."""
+
+from repro.experiments import table2_workloads
+
+
+def bench_table2_pool(benchmark, runner, emit):
+    fig = benchmark.pedantic(table2_workloads, args=(runner,), rounds=1, iterations=1)
+    emit(fig, "table2_workloads")
+    assert fig.rows["total"]["MIX"] >= 1
+    # every non-mixes category contributes all three workload types
+    for cat, cells in fig.rows.items():
+        if cat in ("mixes", "total"):
+            continue
+        assert cells["ILP"] >= 1 and cells["MEM"] >= 1 and cells["MIX"] >= 1

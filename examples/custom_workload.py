@@ -1,0 +1,64 @@
+"""Custom workloads: build your own trace profiles and sweep a knob.
+
+Shows the public trace-synthesis API: define a :class:`TraceProfile`,
+generate deterministic traces from it, and study how the machine responds —
+here, how CDPRF's dynamic register thresholds react as one thread's
+register-class mix shifts from integer-only to FP-heavy.
+
+Run:  python examples/custom_workload.py
+"""
+
+from dataclasses import replace
+
+from repro import baseline_config, generate_trace
+from repro.core.processor import Processor
+from repro.policies import make_policy
+from repro.trace.synthesis import TraceProfile
+
+
+def main() -> None:
+    config = baseline_config()
+
+    int_thread = TraceProfile(
+        name="int-kernel",
+        frac_fp=0.0,
+        frac_load=0.22,
+        frac_branch=0.10,
+        dep_mean_distance=8.0,
+        dep_locality=0.35,
+        working_set_lines=256,
+        int_regs_used=12,
+    )
+    partner_base = replace(int_thread, name="partner")
+
+    print(
+        f"{'partner frac_fp':>15} {'IPC':>7} {'thr T0 int':>11} "
+        f"{'thr T1 int':>11} {'thr T1 fp':>10}"
+    )
+    for frac_fp in (0.0, 0.25, 0.5, 0.75):
+        partner = replace(partner_base, frac_fp=frac_fp, fp_regs_used=12)
+        t0 = generate_trace(int_thread, seed=101, n_uops=9000, kind="ilp")
+        t1 = generate_trace(partner, seed=202, n_uops=9000, kind="ilp")
+
+        policy = make_policy("cdprf", interval=1024)
+        proc = Processor(config, policy, [t0, t1])
+        proc.prewarm_caches()
+        while not proc.any_done() and proc.cycle < 200_000:
+            proc.step()
+
+        # CDPRF's learned per-thread reservations (int/fp register classes)
+        print(
+            f"{frac_fp:>15.2f} {proc.stats.ipc:>7.3f} "
+            f"{policy.threshold[0][0]:>11} "
+            f"{policy.threshold[1][0]:>11} {policy.threshold[1][1]:>10}"
+        )
+
+    print(
+        "\nAs the partner thread shifts toward FP, CDPRF learns a larger"
+        "\nFP reservation for it while the integer thread keeps its integer"
+        "\nregisters — the adaptation behind the paper's Figure 9."
+    )
+
+
+if __name__ == "__main__":
+    main()

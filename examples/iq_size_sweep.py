@@ -1,0 +1,52 @@
+"""Issue-queue size sweep: how resource pressure changes the scheme ranking.
+
+The paper's Figure 2 compares 32 vs 64 IQ entries and observes that the
+partitioning advantage shrinks as entries get abundant ("increasing the
+amount of resources available alleviates thread starvation").  This
+example sweeps the per-cluster IQ size further to show the whole curve.
+
+Run:  python examples/iq_size_sweep.py
+"""
+
+from repro import baseline_config, run_workload
+from repro.trace.workloads import build_pool
+
+SCHEMES = ("icount", "cssp")
+SIZES = (16, 24, 32, 48, 64, 96)
+
+
+def main() -> None:
+    pool = build_pool(n_uops=8000, n_ilp=0, n_mem=0, n_mix=1, n_mixes_category=2)
+    workloads = pool.by_category("mixes")
+    print(f"workloads: {[w.name for w in workloads]}")
+
+    print(f"\n{'IQ entries':>10} {'icount IPC':>11} {'cssp IPC':>9} {'cssp gain':>10}")
+    for size in SIZES:
+        config = baseline_config(
+            unbounded_regs=True, unbounded_rob=True
+        ).with_iq_entries(size)
+        ipc = {}
+        for scheme in SCHEMES:
+            vals = [
+                run_workload(
+                    config, scheme, wl, warmup_uops=2000, prewarm_caches=True
+                ).ipc
+                for wl in workloads
+            ]
+            ipc[scheme] = sum(vals) / len(vals)
+        gain = ipc["cssp"] / ipc["icount"] - 1.0
+        print(
+            f"{size:>10} {ipc['icount']:>11.3f} {ipc['cssp']:>9.3f} {gain:>+9.1%}"
+        )
+
+    print(
+        "\nOn individual workloads the curve varies — here the unmanaged"
+        "\nbaseline actually degrades with huge queues (a deeper stalled"
+        "\nwindow interferes more), widening CSSP's edge.  Averaged over"
+        "\nthe full Table 2 pool (bench_figure2), the relative advantage"
+        "\nshrinks from 32 to 64 entries, the trend the paper reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

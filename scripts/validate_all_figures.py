@@ -1,0 +1,37 @@
+"""Run every figure reproduction at a given scale and print the tables."""
+
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentRunner,
+    figure2_iq_throughput,
+    figure3_copies,
+    figure4_iq_stalls,
+    figure5_imbalance,
+    figure6_regfile,
+    figure9_cdprf,
+    figure10_fairness,
+    headline_numbers,
+    table2_workloads,
+)
+
+scale = sys.argv[1] if len(sys.argv) > 1 else "smoke"
+runner = ExperimentRunner(scale, cache_dir=f"/tmp/repro-cache-{scale}")
+
+for name, fn in [
+    ("table2", table2_workloads),
+    ("fig2", figure2_iq_throughput),
+    ("fig3", figure3_copies),
+    ("fig4", figure4_iq_stalls),
+    ("fig5", figure5_imbalance),
+    ("fig6", figure6_regfile),
+    ("fig9", figure9_cdprf),
+    ("fig10", figure10_fairness),
+    ("headline", headline_numbers),
+]:
+    t0 = time.perf_counter()
+    fig = fn(runner)
+    print(f"\n===== {name} ({time.perf_counter()-t0:.0f}s, "
+          f"{runner.sims_run} sims total) =====", flush=True)
+    print(fig.render(), flush=True)

@@ -1,0 +1,57 @@
+"""Quick validation sweep for the Figure 2 shape (used during development)."""
+
+import json
+import sys
+import time
+
+from repro import baseline_config
+from repro.core.simulator import run_workload
+from repro.trace.workloads import build_pool
+
+N_UOPS = int(sys.argv[1]) if len(sys.argv) > 1 else 8000
+POLS = ["icount", "stall", "flush+", "cisp", "cssp", "cspsp", "pc"]
+
+t0 = time.perf_counter()
+pool = build_pool(n_uops=N_UOPS, n_ilp=1, n_mem=1, n_mix=1, n_mixes_category=4)
+print(f"pool {len(pool)} gen {time.perf_counter()-t0:.1f}s", flush=True)
+
+results = {}
+for iq in (32, 64):
+    cfg = baseline_config(unbounded_regs=True, unbounded_rob=True).with_iq_entries(iq)
+    for pol in POLS:
+        t1 = time.perf_counter()
+        for wl in pool:
+            r = run_workload(
+                cfg, pol, wl, warmup_uops=N_UOPS // 4, prewarm_caches=True,
+                max_cycles=20 * N_UOPS,
+            )
+            results[(iq, pol, wl.category, wl.name)] = r
+        print(f"iq={iq} {pol}: {time.perf_counter()-t1:.0f}s", flush=True)
+
+base = {k[2:]: r.ipc for k, r in results.items() if k[0] == 32 and k[1] == "icount"}
+out = {}
+for iq in (32, 64):
+    print(f"--- IQ={iq} (speedup vs icount@32, avg over {len(pool)} workloads)")
+    for pol in POLS:
+        sp = [r.ipc / base[k[2:]] for k, r in results.items() if k[0] == iq and k[1] == pol]
+        cp = [r.stats["copies_per_committed"] for k, r in results.items() if k[0] == iq and k[1] == pol]
+        st = [r.stats["iq_stalls_per_committed"] for k, r in results.items() if k[0] == iq and k[1] == pol]
+        line = f"  {pol:8s} spd={sum(sp)/len(sp):.3f} copies={sum(cp)/len(cp):.3f} iqstall={sum(st)/len(st):.3f}"
+        print(line, flush=True)
+        out[f"{iq}/{pol}"] = dict(
+            speedup=sum(sp) / len(sp), copies=sum(cp) / len(cp), iqstall=sum(st) / len(st)
+        )
+
+# per-category CSSP vs Icount at 32
+cats = sorted({k[2] for k in results})
+print("--- per-category CSSP speedup @32")
+for cat in cats:
+    sp = [
+        results[(32, "cssp", cat, k[3])].ipc / base[(cat, k[3])]
+        for k in results
+        if k[0] == 32 and k[1] == "cssp" and k[2] == cat
+    ]
+    print(f"  {cat:14s} {sum(sp)/len(sp):.3f}")
+
+with open("scripts/fig2_validation.json", "w") as f:
+    json.dump(out, f, indent=1)

@@ -1,0 +1,80 @@
+"""repro — reproduction of "Efficient Resources Assignment Schemes for
+Clustered Multithreaded Processors" (Latorre, González & González, IPPS 2008).
+
+A cycle-level clustered-SMT processor simulator plus the paper's resource
+assignment schemes (Icount, Stall, Flush+, CISP/CSSP/CSPSP/PC, CSSPRF,
+CISPRF and the proposed dynamic CDPRF), a synthetic workload substrate
+standing in for the paper's 120 proprietary traces, and an experiment
+harness regenerating every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import baseline_config, build_pool, run_workload
+
+    pool = build_pool(n_uops=20_000)
+    wl = pool.by_category("ISPEC00")[0]
+    base = run_workload(baseline_config(), "icount", wl)
+    ours = run_workload(baseline_config(), "cdprf", wl)
+    print(ours.ipc / base.ipc)
+"""
+
+from repro.config import (
+    CacheConfig,
+    ClusterConfig,
+    FrontEndConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    TLBConfig,
+    baseline_config,
+)
+from repro.core import (
+    Processor,
+    SimResult,
+    run_simulation,
+    run_single_thread,
+    run_workload,
+)
+from repro.metrics import fairness, fairness_speedup, geomean, speedup
+from repro.policies import POLICY_NAMES, make_policy
+from repro.trace import (
+    CATEGORIES,
+    Trace,
+    TraceProfile,
+    Workload,
+    WorkloadPool,
+    WorkloadType,
+    build_pool,
+    generate_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "ClusterConfig",
+    "FrontEndConfig",
+    "MemoryConfig",
+    "ProcessorConfig",
+    "TLBConfig",
+    "baseline_config",
+    "Processor",
+    "SimResult",
+    "run_simulation",
+    "run_single_thread",
+    "run_workload",
+    "fairness",
+    "fairness_speedup",
+    "geomean",
+    "speedup",
+    "POLICY_NAMES",
+    "make_policy",
+    "CATEGORIES",
+    "Trace",
+    "TraceProfile",
+    "Workload",
+    "WorkloadPool",
+    "WorkloadType",
+    "build_pool",
+    "generate_trace",
+    "__version__",
+]

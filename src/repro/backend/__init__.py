@@ -1,0 +1,22 @@
+"""Clustered back-end: issue queues, register files, ports, MOB, ROB, links."""
+
+from repro.backend.regfile import PhysRegFile, RegFileSet, READY_EVERYWHERE
+from repro.backend.issue import IssueQueue
+from repro.backend.interconnect import Interconnect
+from repro.backend.mob import MemoryOrderBuffer
+from repro.backend.rob import ReorderBuffer
+from repro.backend.execute import PORT_CAPS, latency_for
+from repro.backend.cluster import Cluster
+
+__all__ = [
+    "PhysRegFile",
+    "RegFileSet",
+    "READY_EVERYWHERE",
+    "IssueQueue",
+    "Interconnect",
+    "MemoryOrderBuffer",
+    "ReorderBuffer",
+    "PORT_CAPS",
+    "latency_for",
+    "Cluster",
+]

@@ -1,0 +1,37 @@
+"""One execution cluster: issue queue + register files + issue ports.
+
+The cluster is a passive container; the cycle engine
+(:mod:`repro.core.processor`) drives select/execute through it.  Keeping
+the cluster thin makes the policy hook points (all resource *admission*
+decisions) live in exactly one place, the rename stage.
+"""
+
+from __future__ import annotations
+
+from repro.backend.execute import PortSet
+from repro.backend.issue import IssueQueue
+from repro.backend.regfile import RegFileSet
+from repro.config import ProcessorConfig
+
+
+class Cluster:
+    """Issue queue, physical register files and ports of one cluster."""
+
+    __slots__ = ("index", "iq", "regs", "ports")
+
+    def __init__(self, index: int, config: ProcessorConfig) -> None:
+        self.index = index
+        self.iq = IssueQueue(index, config.cluster.iq_entries, config.num_threads)
+        self.regs = RegFileSet(
+            index,
+            config.cluster.int_regs,
+            config.cluster.fp_regs,
+            unbounded=config.unbounded_regs,
+        )
+        self.ports = PortSet()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Cluster {self.index}: IQ {self.iq.occupancy}/{self.iq.capacity}, "
+            f"regs {self.regs.total_in_use()}>"
+        )

@@ -1,0 +1,97 @@
+"""Issue ports and execution latencies.
+
+Table 1 gives each cluster three issue ports:
+
+* port 0: int, fp, simd
+* port 1: int, fp, simd
+* port 2: int, mem
+
+``PORT_CAPS[p]`` is the set of port classes port ``p`` accepts (see
+:mod:`repro.isa.uops` for the class mapping).  Latencies are per uop class;
+loads add cache latency on top of address generation.
+"""
+
+from __future__ import annotations
+
+from repro.config import ProcessorConfig
+from repro.isa import UopClass
+from repro.isa.uops import PORT_FP, PORT_INT, PORT_MEM
+
+#: Port capability masks, indexed by port number.  Must stay in sync with
+#: ``ClusterConfig.num_ports``.
+PORT_CAPS: tuple[frozenset[int], ...] = (
+    frozenset({PORT_INT, PORT_FP}),
+    frozenset({PORT_INT, PORT_FP}),
+    frozenset({PORT_INT, PORT_MEM}),
+)
+
+
+def latency_for(config: ProcessorConfig, opclass: UopClass) -> int:
+    """Fixed execution latency of a uop class (loads add memory latency)."""
+    if opclass == UopClass.INT_ALU:
+        return config.int_latency
+    if opclass == UopClass.INT_MUL:
+        return 3 * config.int_latency
+    if opclass == UopClass.FP:
+        return config.fp_latency
+    if opclass == UopClass.SIMD:
+        return max(1, config.fp_latency - 1)
+    if opclass == UopClass.BRANCH:
+        return config.branch_latency
+    if opclass == UopClass.COPY:
+        return config.copy_latency
+    if opclass == UopClass.STORE:
+        return config.agu_latency
+    if opclass == UopClass.LOAD:
+        return config.agu_latency  # + cache access, added by the memory model
+    raise ValueError(f"unknown uop class {opclass!r}")
+
+
+class PortSet:
+    """Per-cycle port arbitration for one cluster."""
+
+    __slots__ = ("_busy",)
+
+    def __init__(self) -> None:
+        self._busy = [False] * len(PORT_CAPS)
+
+    def new_cycle(self) -> None:
+        busy = self._busy
+        for i in range(len(busy)):
+            busy[i] = False
+
+    def try_claim(self, pclass: int) -> bool:
+        """Claim a free port accepting ``pclass``; False when none is free.
+
+        Ports are probed most-specialized-first (port 2 before 0/1 for int
+        ops would waste the only mem port, so integer uops prefer 0/1).
+        """
+        busy = self._busy
+        if pclass == PORT_MEM:
+            if not busy[2]:
+                busy[2] = True
+                return True
+            return False
+        # PORT_INT and PORT_FP both fit ports 0/1; PORT_INT can spill to 2
+        if not busy[0]:
+            busy[0] = True
+            return True
+        if not busy[1]:
+            busy[1] = True
+            return True
+        if pclass == PORT_INT and not busy[2]:
+            busy[2] = True
+            return True
+        return False
+
+    def has_free(self, pclass: int) -> bool:
+        """Would ``try_claim`` succeed (without claiming)?"""
+        busy = self._busy
+        if pclass == PORT_MEM:
+            return not busy[2]
+        if not busy[0] or not busy[1]:
+            return True
+        return pclass == PORT_INT and not busy[2]
+
+    def free_count(self) -> int:
+        return sum(1 for b in self._busy if not b)

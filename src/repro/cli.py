@@ -1,0 +1,136 @@
+"""Command-line interface (``repro-sim``).
+
+Subcommands:
+
+* ``config``  — print the Table 1 baseline configuration;
+* ``pool``    — print the Table 2 workload pool at a given scale;
+* ``run``     — simulate one workload under one policy and dump statistics;
+* ``figure``  — regenerate one of the paper's figures (2, 3, 4, 5, 6, 9,
+  10, ``headline`` or ``table2``) and print the table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.config import baseline_config
+from repro.core.simulator import run_workload
+from repro.experiments import (
+    ExperimentRunner,
+    figure2_iq_throughput,
+    figure3_copies,
+    figure4_iq_stalls,
+    figure5_imbalance,
+    figure6_regfile,
+    figure9_cdprf,
+    figure10_fairness,
+    headline_numbers,
+    save_json,
+    table2_workloads,
+)
+from repro.experiments.runner import SCALES
+from repro.policies import POLICY_NAMES
+
+_FIGURES = {
+    "2": figure2_iq_throughput,
+    "3": figure3_copies,
+    "4": figure4_iq_stalls,
+    "5": figure5_imbalance,
+    "6": figure6_regfile,
+    "9": figure9_cdprf,
+    "10": figure10_fairness,
+    "headline": headline_numbers,
+    "table2": table2_workloads,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Clustered-SMT resource assignment scheme simulator "
+        "(Latorre et al., IPPS 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("config", help="print the Table 1 baseline configuration")
+
+    p_pool = sub.add_parser("pool", help="print the Table 2 workload pool")
+    p_pool.add_argument("--scale", choices=sorted(SCALES), default="quick")
+
+    p_run = sub.add_parser("run", help="simulate one workload under one policy")
+    p_run.add_argument("--policy", choices=POLICY_NAMES, default="cdprf")
+    p_run.add_argument("--category", default="mixes")
+    p_run.add_argument("--index", type=int, default=0, help="workload index in category")
+    p_run.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    p_run.add_argument("--iq-entries", type=int, default=32)
+    p_run.add_argument("--regs", type=int, default=64)
+    p_run.add_argument("--json", action="store_true", help="dump full stats as JSON")
+
+    p_fig = sub.add_parser("figure", help="regenerate a figure of the paper")
+    p_fig.add_argument("which", choices=sorted(_FIGURES))
+    p_fig.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    p_fig.add_argument("--cache-dir", default=".repro-cache")
+    p_fig.add_argument("--out", help="also write the result as JSON here")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "config":
+        print(baseline_config().describe())
+        return 0
+
+    if args.command == "pool":
+        runner = ExperimentRunner(args.scale)
+        print(runner.pool.summary())
+        return 0
+
+    if args.command == "run":
+        runner = ExperimentRunner(args.scale)
+        workloads = runner.pool.by_category(args.category)
+        if not workloads:
+            print(f"no workloads in category {args.category!r}", file=sys.stderr)
+            return 1
+        wl = workloads[args.index % len(workloads)]
+        config = (
+            baseline_config().with_iq_entries(args.iq_entries).with_regs(args.regs)
+        )
+        res = run_workload(
+            config,
+            args.policy,
+            wl,
+            warmup_uops=runner.scale.warmup_uops,
+            prewarm_caches=True,
+            max_cycles=runner.scale.max_cycles,
+        )
+        if args.json:
+            print(json.dumps(res.stats, indent=1, default=str))
+        else:
+            print(f"workload   {res.workload}")
+            print(f"policy     {res.policy}")
+            print(f"cycles     {res.cycles}")
+            print(f"committed  {res.committed} {list(res.committed_per_thread)}")
+            print(f"IPC        {res.ipc:.3f}")
+            print(f"copies/ci  {res.stats['copies_per_committed']:.3f}")
+            print(f"iqstall/ci {res.stats['iq_stalls_per_committed']:.3f}")
+        return 0
+
+    if args.command == "figure":
+        runner = ExperimentRunner(args.scale, cache_dir=args.cache_dir)
+        fig = _FIGURES[args.which](runner)
+        print(fig.render())
+        print(f"\n[{runner.sims_run} simulations run, {runner.cache_hits} cache hits]")
+        if args.out:
+            save_json(args.out, fig.as_dict())
+            print(f"JSON written to {args.out}")
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,203 @@
+"""Processor configuration (Table 1 of the paper).
+
+Every structural parameter of the simulated machine lives in
+:class:`ProcessorConfig`.  The defaults reproduce the baseline configuration
+of Table 1: a 6-wide front-end, two execution clusters with 32-entry issue
+queues and 64+64 physical registers each, a 128-entry-per-thread ROB, a
+128-entry memory order buffer and a 32KB/4MB two-level cache hierarchy.
+
+Configurations are plain frozen dataclasses so they hash, compare and can be
+used as cache keys for single-thread reference runs (fairness metric).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    hit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"assoc*line ({self.assoc}*{self.line_bytes})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry of a TLB (ITLB or DTLB)."""
+
+    entries: int = 1024
+    assoc: int = 8
+    page_bytes: int = 4096
+    miss_latency: int = 30
+
+    @property
+    def num_sets(self) -> int:
+        return self.entries // self.assoc
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One execution cluster: issue queue, register files and issue ports.
+
+    The paper's clusters have three issue ports: port 0 and port 1 execute
+    int/fp/simd operations, port 2 executes int and memory operations
+    (Table 1, "Issue rate per cluster").
+    """
+
+    iq_entries: int = 32
+    int_regs: int = 64
+    fp_regs: int = 64  # combined FP/SSE register file
+    # Port capability masks are defined in repro.backend.execute; the count
+    # here must match len(PORT_CAPS).
+    num_ports: int = 3
+
+
+@dataclass(frozen=True)
+class FrontEndConfig:
+    """Front-end widths and predictor/trace-cache sizes (Table 1)."""
+
+    fetch_width: int = 6
+    rename_width: int = 6
+    commit_width: int = 6
+    fetch_queue_entries: int = 24  # private per-thread queue inside thread selection
+    mispredict_pipeline: int = 14
+    gshare_entries: int = 32 * 1024
+    indirect_entries: int = 4096
+    trace_cache_uops: int = 32 * 1024
+    trace_cache_line_uops: int = 6
+    mite_fill_latency: int = 5  # cycles to build a TC line via the MITE
+    mrom_latency: int = 8      # complex macro-op decode
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Memory hierarchy parameters (Table 1)."""
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=32 * 1024, assoc=2, hit_latency=1
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=4 * 1024 * 1024, assoc=8, hit_latency=12
+        )
+    )
+    memory_latency: int = 60
+    l1_read_ports: int = 2
+    l1_write_ports: int = 2
+    l1_l2_buses: int = 2
+    dtlb: TLBConfig = field(default_factory=TLBConfig)
+    itlb: TLBConfig = field(default_factory=TLBConfig)
+    mob_entries: int = 128
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Complete machine description (Table 1 baseline by default)."""
+
+    num_threads: int = 2
+    num_clusters: int = 2
+    rob_entries_per_thread: int = 128
+    front_end: FrontEndConfig = field(default_factory=FrontEndConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    # Inter-cluster interconnect: 2 point-to-point links, 1 cycle each.
+    num_links: int = 2
+    link_latency: int = 1
+    # Steering (Canal et al. [12]): imbalance threshold before the balance
+    # term overrides the dependence term.
+    steer_imbalance_threshold: int = 4
+    # Functional-unit latencies by uop class (see repro.isa.uops.UopClass).
+    int_latency: int = 1
+    fp_latency: int = 4
+    branch_latency: int = 1
+    copy_latency: int = 1
+    agu_latency: int = 1  # address generation before cache access
+    # Infinite-resource switches used by the paper's Figure 2 study
+    # ("register file and reorder buffer are unbounded for this study").
+    unbounded_regs: bool = False
+    unbounded_rob: bool = False
+    # Ablation switch: when False, fetch idles behind an unresolved
+    # mispredicted branch instead of injecting resource-consuming
+    # wrong-path uops (the paper's traces "faithfully simulate wrong path
+    # execution"; this quantifies how much that matters).
+    model_wrong_path: bool = True
+
+    def with_iq_entries(self, iq_entries: int) -> "ProcessorConfig":
+        """Return a copy with a different per-cluster issue queue size."""
+        return dataclasses.replace(
+            self, cluster=dataclasses.replace(self.cluster, iq_entries=iq_entries)
+        )
+
+    def with_regs(self, int_regs: int, fp_regs: int | None = None) -> "ProcessorConfig":
+        """Return a copy with different per-cluster register file sizes."""
+        return dataclasses.replace(
+            self,
+            cluster=dataclasses.replace(
+                self.cluster,
+                int_regs=int_regs,
+                fp_regs=int_regs if fp_regs is None else fp_regs,
+            ),
+        )
+
+    def with_threads(self, num_threads: int) -> "ProcessorConfig":
+        """Return a copy for a different thread count (1 for ST reference runs)."""
+        return dataclasses.replace(self, num_threads=num_threads)
+
+    def digest(self) -> str:
+        """Stable short hash of the configuration, for result caching."""
+        blob = json.dumps(dataclasses.asdict(self), sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (Table 1 style)."""
+        fe, cl, mem = self.front_end, self.cluster, self.memory
+        rows = [
+            ("Fetch width", fe.fetch_width),
+            ("Commit width", fe.commit_width),
+            ("Misprediction pipeline", fe.mispredict_pipeline),
+            ("ROB size", f"{self.rob_entries_per_thread} per thread"),
+            ("Gshare entries", fe.gshare_entries),
+            ("Indirect branch", fe.indirect_entries),
+            ("Trace cache size", f"{fe.trace_cache_uops} uops"),
+            ("Clusters", self.num_clusters),
+            ("Issue queue size per cluster", cl.iq_entries),
+            ("Int physical registers", cl.int_regs),
+            ("FP/SSE physical registers", cl.fp_regs),
+            ("MOB", mem.mob_entries),
+            ("L1 size", f"{mem.l1.size_bytes // 1024}KB {mem.l1.assoc}-way, "
+                        f"{mem.l1.hit_latency} cycle"),
+            ("L2 size", f"{mem.l2.size_bytes // (1024 * 1024)}MB {mem.l2.assoc}-way, "
+                        f"{mem.l2.hit_latency} cycles"),
+            ("Memory latency", mem.memory_latency),
+            ("Point to point links", f"{self.num_links} x {self.link_latency} cycle"),
+            ("Data buses (L1 to L2)", mem.l1_l2_buses),
+            ("DTLB", f"{mem.dtlb.entries} entries, {mem.dtlb.assoc}-way"),
+            ("ITLB", f"{mem.itlb.entries} entries, {mem.itlb.assoc}-way"),
+        ]
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
+
+
+def baseline_config(**overrides: object) -> ProcessorConfig:
+    """The Table 1 baseline, optionally with top-level field overrides."""
+    return dataclasses.replace(ProcessorConfig(), **overrides)  # type: ignore[arg-type]

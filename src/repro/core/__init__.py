@@ -1,0 +1,21 @@
+"""Cycle engine: SMT thread contexts, the clustered pipeline, run API."""
+
+from repro.core.stats import SimStats
+from repro.core.smt import ThreadContext
+from repro.core.processor import Processor
+from repro.core.simulator import (
+    SimResult,
+    run_simulation,
+    run_single_thread,
+    run_workload,
+)
+
+__all__ = [
+    "SimStats",
+    "ThreadContext",
+    "Processor",
+    "SimResult",
+    "run_simulation",
+    "run_single_thread",
+    "run_workload",
+]

@@ -1,0 +1,796 @@
+"""The clustered SMT pipeline (Section 3 of the paper).
+
+One :class:`Processor` simulates the whole machine cycle by cycle:
+
+* a monolithic front-end — trace cache + MITE timing, shared gshare with
+  per-thread history, per-thread private fetch queues, *fetch selection*
+  (always the thread with the fewest queued instructions, per Section 3)
+  and *rename selection* (delegated to the resource assignment policy);
+* rename/steer — dependence+balance steering [12], on-demand copy-uop
+  generation for cross-cluster operands, physical register allocation,
+  all subject to the policy's admission checks;
+* two execution clusters — issue queues with oldest-first select over three
+  asymmetric ports, private register files, point-to-point copy links;
+* a shared MOB and L1/L2/memory hierarchy;
+* per-thread ROB partitions committing up to 6 uops per cycle.
+
+Stages tick in reverse pipeline order inside :meth:`step` so same-cycle
+structural interactions resolve like hardware (a register freed by commit
+is allocatable by rename in the same cycle; a value written back wakes and
+issues its consumer in the same cycle, modelling the bypass network).
+
+Speculation is modelled faithfully enough for the paper's resource
+arguments: a mispredicted branch switches its thread's fetch to
+synthetically generated wrong-path uops that allocate real resources until
+the branch executes, then a squash walk undoes rename state exactly and the
+thread pays the 14-cycle redirect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backend.cluster import Cluster
+from repro.backend.execute import latency_for
+from repro.backend.interconnect import Interconnect
+from repro.backend.mob import MemoryOrderBuffer
+from repro.backend.regfile import READY_EVERYWHERE
+from repro.backend.rob import ReorderBuffer
+from repro.config import ProcessorConfig
+from repro.core.smt import ThreadContext
+from repro.core.stats import SimStats
+from repro.frontend.branch import GShare, IndirectPredictor
+from repro.frontend.rename import Mapping, RenameTable
+from repro.frontend.steering import Steering
+from repro.frontend.tracecache import TraceCache
+from repro.isa import NO_REG, NUM_ARCH_INT, Uop, UopClass
+from repro.isa.uops import port_class
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.policies.base import ResourcePolicy
+from repro.trace.trace import Trace
+
+#: plain-int uop classes for the hot paths
+_LOAD = int(UopClass.LOAD)
+_STORE = int(UopClass.STORE)
+_BRANCH = int(UopClass.BRANCH)
+_COPY = int(UopClass.COPY)
+
+#: cycles without a single commit before the watchdog declares deadlock
+_WATCHDOG_CYCLES = 50_000
+
+
+class DeadlockError(RuntimeError):
+    """The pipeline stopped committing — a simulator invariant was broken."""
+
+
+class Processor:
+    """Cycle-level model of the paper's clustered SMT processor."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        policy: ResourcePolicy,
+        traces: list[Trace],
+        steering: Steering | None = None,
+    ) -> None:
+        if len(traces) != config.num_threads:
+            raise ValueError(
+                f"config expects {config.num_threads} threads, got {len(traces)} traces"
+            )
+        if config.num_clusters != 2:
+            raise ValueError("the model supports exactly two clusters")
+        self.config = config
+        self.policy = policy
+        self.steering = steering or Steering(config.steer_imbalance_threshold)
+        self.clusters = [Cluster(i, config) for i in range(config.num_clusters)]
+        self.mem = MemoryHierarchy(config.memory)
+        self.mob = MemoryOrderBuffer(config.memory.mob_entries, config.num_threads)
+        self.icn = Interconnect(config.num_links, config.link_latency)
+        self.predictor = GShare(config.front_end.gshare_entries, config.num_threads)
+        self.ipredictor = IndirectPredictor(
+            config.front_end.indirect_entries, config.num_threads
+        )
+        self.tc = TraceCache(config.front_end, config.memory.itlb)
+        self.threads = [ThreadContext(t, traces[t]) for t in range(config.num_threads)]
+        for t in self.threads:
+            t.rob = ReorderBuffer(
+                config.rob_entries_per_thread, unbounded=config.unbounded_rob
+            )
+        self.stats = SimStats(config.num_threads)
+        self.cycle = 0
+        self._age = 0
+        self._commit_rr = 0
+        self._last_commit_cycle = 0
+        self._events: dict[int, list[Uop]] = {}
+        self._fill_events: dict[int, list[int]] = {}
+        # hot-path caches (plain ints beat enum lookups in the cycle loop)
+        self._latency = [latency_for(config, UopClass(c)) for c in range(8)]
+        self._num_arch_int = NUM_ARCH_INT
+        policy.attach(self)
+
+    # ------------------------------------------------------------------ #
+    # register bookkeeping (single funnel so the policy hooks stay exact) #
+    # ------------------------------------------------------------------ #
+
+    def _alloc_reg(self, tid: int, regclass: int, cluster: int) -> int:
+        phys = self.clusters[cluster].regs[regclass].alloc()
+        self.policy.on_reg_alloc(tid, regclass, cluster)
+        return phys
+
+    def _free_reg(self, tid: int, regclass: int, cluster: int, phys: int) -> None:
+        self.clusters[cluster].regs[regclass].free(phys)
+        self.policy.on_reg_free(tid, regclass, cluster)
+
+    # ------------------------------------------------------------------ #
+    # main loop                                                          #
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> None:
+        """Advance the machine one cycle."""
+        self.cycle += 1
+        self.policy.on_cycle(self.cycle)
+        self._commit()
+        self._writeback()
+        self._deliver_copies()
+        self._issue()
+        self._rename()
+        self._fetch()
+        self.stats.cycles += 1
+        if self.cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
+            raise DeadlockError(
+                f"no commit for {_WATCHDOG_CYCLES} cycles at cycle {self.cycle}: "
+                + "; ".join(repr(t) for t in self.threads)
+            )
+
+    def all_done(self) -> bool:
+        """Every thread has committed its whole trace."""
+        return all(t.finished for t in self.threads)
+
+    def any_done(self) -> bool:
+        """At least one thread has committed its whole trace."""
+        return any(t.finished for t in self.threads)
+
+    # ------------------------------------------------------------------ #
+    # commit                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _commit(self) -> None:
+        width = self.config.front_end.commit_width
+        threads = self.threads
+        n = len(threads)
+        start = self._commit_rr
+        committed = 0
+        progress = True
+        while committed < width and progress:
+            progress = False
+            for off in range(n):
+                if committed >= width:
+                    break
+                t = threads[(start + off) % n]
+                head = t.rob.head()
+                if head is not None and head.completed:
+                    self._commit_uop(t, head)
+                    committed += 1
+                    progress = True
+        self._commit_rr = (start + 1) % n
+        if committed:
+            self._last_commit_cycle = self.cycle
+
+    def _commit_uop(self, thread: ThreadContext, uop: Uop) -> None:
+        thread.rob.pop_head()
+        # retire the in-flight prefix (includes this uop's preceding copies)
+        infl = thread.inflight
+        while infl and infl[0].age <= uop.age:
+            infl.popleft()
+        if uop.dest != NO_REG:
+            if uop.prev_phys >= 0:
+                self._free_reg(
+                    uop.tid, uop.dest_class, uop.prev_phys_cluster, uop.prev_phys
+                )
+            if uop.prev_replica != NO_REG:
+                self._free_reg(
+                    uop.tid,
+                    uop.dest_class,
+                    1 - uop.prev_phys_cluster,
+                    uop.prev_replica,
+                )
+        if uop.opclass == _LOAD or uop.opclass == _STORE:
+            self.mob.release(uop)
+        thread.committed += 1
+        self.stats.committed += 1
+        self.stats.committed_per_thread[uop.tid] += 1
+        self.policy.on_commit(uop)
+
+    # ------------------------------------------------------------------ #
+    # writeback / copy delivery                                          #
+    # ------------------------------------------------------------------ #
+
+    def _wake_consumers(self, cluster: int, regclass: int, phys: int) -> None:
+        for waiter in self.clusters[cluster].regs[regclass].set_ready(phys):
+            waiter.wait_count -= 1
+            if waiter.wait_count == 0 and not waiter.squashed and not waiter.issued:
+                self.clusters[waiter.cluster].iq.wake(waiter)
+
+    def _writeback(self) -> None:
+        for uop in self._events.pop(self.cycle, ()):
+            if uop.squashed:
+                continue
+            if uop.opclass == _COPY:
+                # the copy read its source; the value now crosses a link
+                self.icn.request(uop)
+                continue
+            uop.completed = True
+            if uop.dest != NO_REG:
+                self._wake_consumers(uop.cluster, uop.dest_class, uop.phys_dest)
+            if uop.mispredicted and not uop.wrong_path:
+                self._resolve_mispredict(uop)
+        for tid in self._fill_events.pop(self.cycle, ()):
+            t = self.threads[tid]
+            t.l2_pending -= 1
+            if t.l2_pending == 0:
+                t.first_l2_miss_cycle = -1
+                self.policy.on_l2_fill(tid)
+
+    def _deliver_copies(self) -> None:
+        for copy in self.icn.tick(self.cycle):
+            copy.completed = True
+            target = copy.preferred_cluster  # copies store their destination here
+            self._wake_consumers(target, copy.dest_class, copy.phys_dest)
+            self.stats.copies_arrived += 1
+
+    # ------------------------------------------------------------------ #
+    # issue                                                              #
+    # ------------------------------------------------------------------ #
+
+    def _issue(self) -> None:
+        passed_per_cluster: list[list[Uop]] = []
+        for cl in self.clusters:
+            cl.ports.new_cycle()
+            issued, passed = cl.iq.select(
+                cl.iq.capacity + 8,
+                lambda u, ports=cl.ports: ports.try_claim(port_class(u.opclass)),
+            )
+            passed_per_cluster.append(passed)
+            any_issued = False
+            for uop in issued:
+                if uop.squashed:
+                    continue  # flushed by a policy event earlier this cycle
+                self._start_execution(uop, cl)
+                any_issued = True
+            if any_issued:
+                self.stats.issue_cycles += 1
+        # workload-imbalance probe (Figure 5), against final port state
+        probed = False
+        for ci, passed in enumerate(passed_per_cluster):
+            other_ports = self.clusters[1 - ci].ports
+            seen: set[int] = set()
+            for uop in passed:
+                if uop.squashed:
+                    continue
+                pcls = port_class(uop.opclass)
+                if pcls in seen:
+                    continue
+                seen.add(pcls)
+                bucket = 1 if other_ports.has_free(pcls) else 0
+                self.stats.imbalance[pcls][bucket] += 1
+                probed = True
+        if probed:
+            self.stats.imbalance_cycles += 1
+
+    def _start_execution(self, uop: Uop, cl: Cluster) -> None:
+        uop.issued = True
+        cl.iq.release(uop)
+        thread = self.threads[uop.tid]
+        thread.icount -= 1
+        self.policy.on_issue(uop)
+        self.stats.issued += 1
+
+        opclass = uop.opclass
+        latency = self._latency[opclass]
+        if opclass == _LOAD:
+            if self.mob.can_forward(uop):
+                self.mob.forwards += 1
+                latency += 1
+            else:
+                res = self.mem.access(uop.mem_line, self.cycle)
+                latency += res.latency
+                if res.l2_miss and not uop.wrong_path:
+                    uop.l2_miss = True
+                    if thread.l2_pending == 0:
+                        thread.first_l2_miss_cycle = self.cycle
+                    thread.l2_pending += 1
+                    self._fill_events.setdefault(self.cycle + latency, []).append(
+                        uop.tid
+                    )
+                    self.policy.on_l2_miss(uop)
+        elif opclass == _STORE:
+            self.mem.access(uop.mem_line, self.cycle, is_store=True)
+            self.mob.store_executed(uop)
+        self._events.setdefault(self.cycle + latency, []).append(uop)
+
+    # ------------------------------------------------------------------ #
+    # rename / steer / dispatch                                          #
+    # ------------------------------------------------------------------ #
+
+    def _rename(self) -> None:
+        excluded: set[int] = set()
+        for _ in range(self.config.num_threads):
+            thread = self.policy.rename_select(self.cycle, frozenset(excluded))
+            if thread is None:
+                return
+            if self._rename_thread(thread) > 0:
+                return
+            excluded.add(thread.tid)  # structurally blocked; give the slot away
+
+    def _rename_thread(self, thread: ThreadContext) -> int:
+        width = self.config.front_end.rename_width
+        renamed = 0
+        while renamed < width and thread.fetch_queue:
+            if not self._rename_one(thread, thread.fetch_queue[0]):
+                break
+            thread.fetch_queue.popleft()
+            renamed += 1
+        return renamed
+
+    def _rename_one(self, thread: ThreadContext, uop: Uop) -> bool:
+        stats = self.stats
+        tid = thread.tid
+        if not thread.rob.can_alloc():
+            stats.rename_stall_cycles["rob"] += 1
+            return False
+        if (uop.opclass == _LOAD or uop.opclass == _STORE) and not self.mob.can_alloc():
+            stats.rename_stall_cycles["mob"] += 1
+            return False
+
+        table = thread.rename_table
+        forced = getattr(self.policy, "forced_cluster", None)
+        if forced is not None:
+            preferred = forced(tid)
+            candidates: tuple[int, ...] = (preferred,)
+        else:
+            preferred = self.steering.preferred_cluster(uop, table, self.clusters)
+            candidates = (preferred, 1 - preferred)
+        uop.preferred_cluster = preferred
+
+        chosen = -1
+        causes: list[str] = []
+        for cand in candidates:
+            cause = self._admission_check(tid, uop, cand, table)
+            if cause is None:
+                chosen = cand
+                break
+            causes.append(cause)
+
+        # Figure 4 counter: the instruction could not go to its preferred
+        # cluster because of IQ capacity or the scheme's IQ limit — whether
+        # it was redirected to the other cluster or blocked outright.
+        if (chosen != preferred and causes and causes[0] == "iq") or (
+            chosen == -1 and causes[0] == "iq"
+        ):
+            stats.iq_stalls += 1
+
+        if chosen == -1:
+            primary = causes[0]
+            stats.rename_stall_cycles[primary] += 1
+            if primary == "iq":
+                stats.iq_block_stalls += 1
+            elif primary in ("rf_int", "rf_fp"):
+                k = 0 if primary == "rf_int" else 1
+                stats.reg_stall_events[k] += 1
+                self.policy.on_reg_stall(tid, k)
+            return False
+
+        self._dispatch_uop(thread, uop, chosen, table)
+        return True
+
+    def _admission_check(
+        self, tid: int, uop: Uop, cluster: int, table: RenameTable
+    ) -> Optional[str]:
+        """Can ``uop`` (plus any copies it needs) be admitted to ``cluster``?
+
+        Returns None on success or the blocking cause:
+        ``"iq"`` / ``"rf_int"`` / ``"rf_fp"``.
+        """
+        iq_need = [0, 0]
+        reg_need = [0, 0]  # per class, all allocated in `cluster`
+        iq_need[cluster] += 1
+        seen: set[int] = set()
+        for arch in uop.sources():
+            if arch in seen:
+                continue
+            seen.add(arch)
+            if not table.present_in(arch, cluster):
+                home = table.lookup(arch).cluster
+                iq_need[home] += 1
+                reg_need[0 if arch < NUM_ARCH_INT else 1] += 1
+        if uop.dest != NO_REG:
+            reg_need[0 if uop.dest < NUM_ARCH_INT else 1] += 1
+
+        policy = self.policy
+        for cl in (0, 1):
+            need = iq_need[cl]
+            if need and self.clusters[cl].iq.free_entries < need:
+                return "iq"
+        if not policy.may_dispatch_group(tid, iq_need):
+            return "iq"
+        for k in (0, 1):
+            need = reg_need[k]
+            if not need:
+                continue
+            f = self.clusters[cluster].regs[k]
+            if not f.unbounded and f.free_count < need:
+                return "rf_int" if k == 0 else "rf_fp"
+            if not policy.may_alloc_reg(tid, k, cluster, need):
+                return "rf_int" if k == 0 else "rf_fp"
+        return None
+
+    def _dispatch_uop(
+        self, thread: ThreadContext, uop: Uop, cluster: int, table: RenameTable
+    ) -> None:
+        tid = thread.tid
+        # resolve sources, generating copies for cross-cluster operands
+        wait = 0
+        resolved: dict[int, int] = {}
+        for arch in uop.sources():
+            if arch in resolved:
+                phys = resolved[arch]
+            else:
+                phys = table.phys_in(arch, cluster)
+                if phys == NO_REG:
+                    phys = self._make_copy(thread, uop, arch, cluster, table)
+                resolved[arch] = phys
+            if phys != READY_EVERYWHERE:
+                k = 0 if arch < NUM_ARCH_INT else 1
+                f = self.clusters[cluster].regs[k]
+                if not f.is_ready(phys):
+                    f.add_waiter(phys, uop)
+                    if uop.waits is None:
+                        uop.waits = []
+                    uop.waits.append((cluster, k, phys))
+                    wait += 1
+        uop.wait_count = wait
+        uop.cluster = cluster
+
+        if uop.dest != NO_REG:
+            k = 0 if uop.dest < NUM_ARCH_INT else 1
+            uop.dest_class = k
+            phys = self._alloc_reg(tid, k, cluster)
+            prev = table.define(uop.dest, cluster, phys)
+            uop.phys_dest = phys
+            uop.prev_phys = prev.phys
+            uop.prev_phys_cluster = prev.cluster
+            uop.prev_replica = prev.replica
+
+        uop.age = self._age
+        self._age += 1
+        thread.rob.push(uop)
+        if uop.opclass == _LOAD or uop.opclass == _STORE:
+            self.mob.alloc(uop)
+        self.clusters[cluster].iq.dispatch(uop)
+        thread.inflight.append(uop)
+        thread.icount += 1
+        self.policy.on_rename(uop)
+        self.stats.renamed += 1
+        if uop.wrong_path:
+            self.stats.wrong_path_renamed += 1
+
+    def _make_copy(
+        self,
+        thread: ThreadContext,
+        consumer: Uop,
+        arch: int,
+        target_cluster: int,
+        table: RenameTable,
+    ) -> int:
+        """Generate the copy uop moving ``arch`` into ``target_cluster``.
+
+        Returns the replica physical register the consumer will read.
+        Admission was already checked; allocation cannot fail here.
+        """
+        tid = thread.tid
+        mapping = table.lookup(arch)
+        home = mapping.cluster
+        k = 0 if arch < NUM_ARCH_INT else 1
+        replica = self._alloc_reg(tid, k, target_cluster)
+        table.set_replica(arch, replica)
+
+        copy = Uop(
+            tid,
+            UopClass.COPY,
+            dest=arch,  # architectural identity, for replica bookkeeping
+            src1=arch,
+            wrong_path=consumer.wrong_path,
+        )
+        copy.cluster = home
+        copy.preferred_cluster = target_cluster  # destination of the transfer
+        copy.dest_class = k
+        copy.phys_dest = replica
+        home_file = self.clusters[home].regs[k]
+        if home_file.is_ready(mapping.phys):
+            copy.wait_count = 0
+        else:
+            home_file.add_waiter(mapping.phys, copy)
+            copy.waits = [(home, k, mapping.phys)]
+            copy.wait_count = 1
+        copy.age = self._age
+        self._age += 1
+        self.clusters[home].iq.dispatch(copy)
+        thread.inflight.append(copy)
+        thread.icount += 1
+        self.policy.on_rename(copy)
+        self.stats.copies_renamed += 1
+        return replica
+
+    # ------------------------------------------------------------------ #
+    # speculation: mispredict resolution, squash, flush                  #
+    # ------------------------------------------------------------------ #
+
+    def _resolve_mispredict(self, branch: Uop) -> None:
+        thread = self.threads[branch.tid]
+        self._squash_younger(thread, branch.age, rewind=False)
+        thread.wrong_path = False
+        thread.fetch_blocked_until = max(
+            thread.fetch_blocked_until,
+            self.cycle + self.config.front_end.mispredict_pipeline,
+        )
+        self.stats.mispredicts += 1
+
+    def flush_thread(self, thread: ThreadContext, keep_age: int | None = None) -> None:
+        """Flush+ primitive: release everything younger than the oldest
+        pending L2-missing load (or ``keep_age``); block fetch/rename until
+        the miss resolves and rewind the trace cursor for re-fetch."""
+        if keep_age is None:
+            pending = [
+                u for u in thread.inflight if u.l2_miss and not u.completed
+            ]
+            if not pending:
+                return
+            keep_age = min(u.age for u in pending)
+        self._squash_younger(thread, keep_age, rewind=True)
+        thread.flushed = True
+        self.stats.flushes += 1
+
+    def _squash_younger(
+        self, thread: ThreadContext, keep_age: int, rewind: bool
+    ) -> None:
+        """Undo every renamed uop of ``thread`` younger than ``keep_age``.
+
+        Walks youngest-first so rename-map restoration and replica freeing
+        compose exactly.  Also drains the fetch queue; with ``rewind`` the
+        trace cursor returns to the oldest squashed right-path uop.
+        """
+        table = thread.rename_table
+        tid = thread.tid
+        min_seq: int | None = None
+        infl = thread.inflight
+        while infl and infl[-1].age > keep_age:
+            uop = infl.pop()
+            uop.squashed = True
+            self.stats.squashed_uops += 1
+            if not uop.issued:
+                self.clusters[uop.cluster].iq.release(uop)
+                thread.icount -= 1
+                if uop.waits:
+                    for wcl, wk, wphys in uop.waits:
+                        self.clusters[wcl].regs[wk].drop_waiter(wphys, uop)
+            if uop.is_copy:
+                table.clear_replica(uop.dest, uop.phys_dest)
+                self._free_reg(tid, uop.dest_class, uop.preferred_cluster, uop.phys_dest)
+            else:
+                if uop.dest != NO_REG:
+                    table.undo_define(
+                        uop.dest,
+                        Mapping(uop.prev_phys_cluster, uop.prev_phys, uop.prev_replica),
+                    )
+                    self._free_reg(tid, uop.dest_class, uop.cluster, uop.phys_dest)
+                if uop.is_mem:
+                    self.mob.release(uop)
+                if uop.mispredicted and not uop.wrong_path:
+                    # the unresolved branch whose shadow we were fetching died
+                    thread.wrong_path = False
+                if not uop.wrong_path and uop.seq >= 0:
+                    min_seq = uop.seq if min_seq is None else min(min_seq, uop.seq)
+            self.policy.on_squash(uop)
+        # drop ROB entries (same set as the non-copy uops above)
+        thread.rob.squash_younger_than(keep_age)
+        # drain the fetch queue (everything in it is younger than keep_age)
+        for qu in thread.fetch_queue:
+            if not qu.wrong_path and qu.seq >= 0:
+                min_seq = qu.seq if min_seq is None else min(min_seq, qu.seq)
+            if qu.mispredicted and not qu.wrong_path:
+                thread.wrong_path = False
+        thread.fetch_queue.clear()
+        if min_seq is not None:
+            if not rewind:
+                raise AssertionError(
+                    "right-path uops squashed by a branch resolution"
+                )
+            thread.cursor = min(thread.cursor, min_seq)
+
+    # ------------------------------------------------------------------ #
+    # fetch                                                              #
+    # ------------------------------------------------------------------ #
+
+    def _fetch(self) -> None:
+        fe = self.config.front_end
+        qcap = fe.fetch_queue_entries
+        cycle = self.cycle
+        # fetch selection policy: fewest instructions in the private queue
+        best: ThreadContext | None = None
+        best_len = -1
+        for t in self.threads:
+            if t.can_fetch(cycle, qcap):
+                qlen = len(t.fetch_queue)
+                if best is None or qlen < best_len:
+                    best, best_len = t, qlen
+        if best is None:
+            return
+        thread = best
+
+        first_pc = self._peek_pc(thread)
+        if first_pc is None:
+            return
+        stall = self.tc.lookup(first_pc)
+        if stall > 0:
+            thread.fetch_blocked_until = cycle + stall
+            return
+
+        # A trace-cache line is a *dynamic* uop sequence, so fetch does not
+        # break on taken branches (the Pentium 4 front-end of [14]); only a
+        # misprediction ends the group (fetch redirects to the wrong path
+        # from the next cycle on).
+        fetched = 0
+        while fetched < fe.fetch_width and len(thread.fetch_queue) < qcap:
+            uop = self._next_fetch_uop(thread)
+            if uop is None:
+                break
+            thread.fetch_queue.append(uop)
+            fetched += 1
+            self.stats.fetched += 1
+            if uop.wrong_path:
+                self.stats.wrong_path_fetched += 1
+            elif uop.opclass == _BRANCH:
+                if uop.indirect:
+                    # target-cache prediction under the thread's target-path
+                    # history; direction is implicitly taken
+                    hit = self.ipredictor.update(uop.tid, uop.pc, uop.target)
+                    uop.predicted_taken = True
+                    if not hit:
+                        uop.mispredicted = True
+                        thread.wrong_path = True
+                        break
+                else:
+                    predicted = self.predictor.update(uop.tid, uop.pc, uop.taken)
+                    uop.predicted_taken = predicted
+                    if predicted != uop.taken:
+                        uop.mispredicted = True
+                        thread.wrong_path = True
+                        break
+            elif uop.complex_op and not uop.wrong_path:
+                # complex macro-op: the MROM serializes decode for a few
+                # cycles (string moves and the like, Section 3)
+                thread.fetch_blocked_until = cycle + fe.mrom_latency
+                break
+
+    def _peek_pc(self, thread: ThreadContext) -> int | None:
+        if thread.wrong_path:
+            return thread.wp_source.peek_pc()
+        if thread.trace_exhausted:
+            return None
+        return int(thread.trace.records[thread.cursor]["pc"])
+
+    def _next_fetch_uop(self, thread: ThreadContext) -> Uop | None:
+        if thread.wrong_path:
+            if not self.config.model_wrong_path:
+                return None  # ablation: fetch idles until the redirect
+            opclass, dest, src1, src2, pc, taken, mem_line = (
+                thread.wp_source.next_record()
+            )
+            return Uop(
+                thread.tid,
+                opclass,
+                dest=dest,
+                src1=src1,
+                src2=src2,
+                pc=pc,
+                seq=-1,
+                taken=taken,
+                mem_line=mem_line + (thread.tid << 33),
+                wrong_path=True,
+            )
+        if thread.trace_exhausted:
+            return None
+        rec = thread.trace.records[thread.cursor]
+        uop = Uop(
+            thread.tid,
+            int(rec["opclass"]),
+            dest=int(rec["dest"]),
+            src1=int(rec["src1"]),
+            src2=int(rec["src2"]),
+            pc=int(rec["pc"]),
+            seq=thread.cursor,
+            taken=bool(rec["taken"]),
+            mem_line=int(rec["mem_line"]) + (thread.tid << 33),
+        )
+        if rec["indirect"]:
+            uop.indirect = True
+            uop.target = int(rec["target"])
+        if rec["complex_op"]:
+            uop.complex_op = True
+        thread.cursor += 1
+        thread.fetched_right_path += 1
+        return uop
+
+    # ------------------------------------------------------------------ #
+    # measurement control                                                #
+    # ------------------------------------------------------------------ #
+
+    def prewarm_caches(self) -> None:
+        """Install cache-resident traces' data working sets in the L2.
+
+        The paper's traces are long enough to run at cache steady state;
+        ours are short, so compulsory misses would otherwise dominate and
+        distort the miss-triggered policies (Stall/Flush+).  Only traces
+        classified ``ilp`` (Table 2's "highly parallel") are prewarmed: a
+        memory-bounded trace's misses over its multi-L2-sized region *are*
+        its defining property and must not be warmed away.  The L1 stays
+        cold (refills from a warm L2 cost 12 cycles, a negligible startup
+        transient).
+        """
+        import numpy as np
+
+        for thread in self.threads:
+            if thread.trace.kind != "ilp":
+                continue
+            rec = thread.trace.records
+            mem_mask = (rec["opclass"] == _LOAD) | (rec["opclass"] == _STORE)
+            offset = thread.tid << 33
+            lines = np.unique(rec["mem_line"][mem_mask])
+            for line in lines:
+                self.mem.l2.access(int(line) + offset)
+        self.mem.reset_stats()
+
+    def reset_measurement(self) -> None:
+        """Zero all statistics while keeping architectural/micro state.
+
+        Used by the run API's warmup phase: caches, predictor and trace
+        cache stay warm, in-flight instructions stay in flight, but every
+        counter the figures read restarts from zero.
+        """
+        self.stats = SimStats(self.config.num_threads)
+        self.mem.reset_stats()
+        self.tc.reset_stats()
+        self.predictor.reset_stats()
+        self.ipredictor.reset_stats()
+        self.icn.transfers = 0
+        self.icn.queue_wait_cycles = 0
+        self.mob.forwards = 0
+
+    # ------------------------------------------------------------------ #
+    # end-of-run summary                                                 #
+    # ------------------------------------------------------------------ #
+
+    def finalize_stats(self) -> SimStats:
+        """Fold component counters into ``stats.extra`` and return stats."""
+        s = self.stats
+        s.extra.update(
+            l1_hit_rate=self.mem.l1.hit_rate,
+            l2_hit_rate=self.mem.l2.hit_rate,
+            l2_misses=self.mem.l2.misses,
+            dtlb_misses=self.mem.dtlb.misses,
+            bus_wait_cycles=self.mem.bus_wait_cycles,
+            tc_hit_rate=self.tc.hit_rate,
+            itlb_misses=self.tc.itlb_misses,
+            branch_accuracy=self.predictor.accuracy,
+            indirect_accuracy=self.ipredictor.accuracy,
+            indirect_lookups=self.ipredictor.lookups,
+            link_transfers=self.icn.transfers,
+            link_queue_wait=self.icn.queue_wait_cycles,
+            store_forwards=self.mob.forwards,
+            mob_peak=self.mob.peak,
+            iq_peaks=[c.iq.peak for c in self.clusters],
+            reg_peaks=[
+                [c.regs[k].peak_in_use for k in (0, 1)] for c in self.clusters
+            ],
+        )
+        return s

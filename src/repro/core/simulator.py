@@ -1,0 +1,140 @@
+"""Top-level run API.
+
+``run_simulation`` drives a :class:`~repro.core.processor.Processor` to one
+of the standard stopping points and returns an immutable
+:class:`SimResult`.  The default stop mode is ``"first_done"`` — simulate
+until the first thread commits its whole trace — which is the standard
+multiprogram SMT methodology (all threads were co-running for every counted
+cycle, so per-thread IPCs are directly comparable against single-thread
+reference runs for the fairness metric).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.config import ProcessorConfig
+from repro.core.processor import Processor
+from repro.core.stats import SimStats
+from repro.frontend.steering import Steering
+from repro.policies.base import ResourcePolicy
+from repro.policies.registry import make_policy
+from repro.trace.trace import Trace
+from repro.trace.workloads import Workload
+
+_STOP_MODES = ("first_done", "all_done", "cycles")
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulation run."""
+
+    policy: str
+    workload: str
+    cycles: int
+    committed: int
+    committed_per_thread: tuple[int, ...]
+    ipc: float
+    stats: dict[str, Any] = field(repr=False)
+    config_digest: str = ""
+    wall_seconds: float = 0.0
+
+    def thread_ipc(self, tid: int) -> float:
+        return self.committed_per_thread[tid] / self.cycles if self.cycles else 0.0
+
+
+def run_simulation(
+    config: ProcessorConfig,
+    policy: ResourcePolicy | str,
+    traces: list[Trace],
+    max_cycles: int = 2_000_000,
+    stop: str = "first_done",
+    workload_name: str = "",
+    steering: Steering | None = None,
+    warmup_uops: int = 0,
+    prewarm_caches: bool = False,
+) -> SimResult:
+    """Simulate ``traces`` under ``policy`` until the stop condition.
+
+    ``policy`` may be a policy instance or a registry name.  ``stop`` is
+    ``"first_done"`` (default), ``"all_done"`` or ``"cycles"`` (run exactly
+    ``max_cycles``).  ``warmup_uops`` commits that many instructions before
+    statistics start counting, so compulsory cache/predictor misses do not
+    skew short runs (the paper's traces are long enough not to need this).
+    """
+    if stop not in _STOP_MODES:
+        raise ValueError(f"stop must be one of {_STOP_MODES}, got {stop!r}")
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    proc = Processor(config, policy, traces, steering=steering)
+    if prewarm_caches:
+        proc.prewarm_caches()
+
+    t0 = time.perf_counter()
+    check_mask = 0xF  # poll stop condition every 16 cycles
+    if warmup_uops > 0:
+        while proc.cycle < max_cycles and proc.stats.committed < warmup_uops:
+            proc.step()
+            if (proc.cycle & check_mask) == 0 and proc.any_done():
+                break
+        proc.reset_measurement()
+    while proc.cycle < max_cycles:
+        proc.step()
+        if (proc.cycle & check_mask) == 0 and stop != "cycles":
+            if stop == "first_done" and proc.any_done():
+                break
+            if stop == "all_done" and proc.all_done():
+                break
+    wall = time.perf_counter() - t0
+
+    stats: SimStats = proc.finalize_stats()
+    return SimResult(
+        policy=policy.name,
+        workload=workload_name or "+".join(t.name for t in traces),
+        cycles=stats.cycles,
+        committed=stats.committed,
+        committed_per_thread=tuple(stats.committed_per_thread),
+        ipc=stats.ipc,
+        stats=stats.as_dict(),
+        config_digest=config.digest(),
+        wall_seconds=wall,
+    )
+
+
+def run_workload(
+    config: ProcessorConfig,
+    policy: ResourcePolicy | str,
+    workload: Workload,
+    **kwargs: Any,
+) -> SimResult:
+    """Convenience wrapper: simulate a 2-thread :class:`Workload`."""
+    return run_simulation(
+        config,
+        policy,
+        list(workload.traces),
+        workload_name=f"{workload.category}/{workload.name}",
+        **kwargs,
+    )
+
+
+def run_single_thread(
+    config: ProcessorConfig,
+    trace: Trace,
+    policy: ResourcePolicy | str = "icount",
+    **kwargs: Any,
+) -> SimResult:
+    """Reference single-thread run (fairness denominators).
+
+    Uses the full machine (both clusters, unrestricted) under Icount, which
+    degenerates to plain dependence/balance steering with one thread.
+    """
+    return run_simulation(
+        config.with_threads(1),
+        policy,
+        [trace],
+        stop=kwargs.pop("stop", "all_done"),
+        workload_name=f"st/{trace.name}",
+        **kwargs,
+    )

@@ -1,0 +1,41 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+The heavy lifting is shared through :class:`~repro.experiments.runner.ExperimentRunner`,
+which caches simulation results (in memory and optionally on disk) so that
+e.g. Figures 2, 3, 4 and 5 — which the paper derives from the same runs —
+are measured from the same simulations here too.
+"""
+
+from repro.experiments.runner import ExperimentRunner, RunKey, Scale, SCALES
+from repro.experiments.figures import (
+    FigureResult,
+    figure2_iq_throughput,
+    figure3_copies,
+    figure4_iq_stalls,
+    figure5_imbalance,
+    figure6_regfile,
+    figure9_cdprf,
+    figure10_fairness,
+    headline_numbers,
+    table2_workloads,
+)
+from repro.experiments.reporting import format_table, save_json
+
+__all__ = [
+    "ExperimentRunner",
+    "RunKey",
+    "Scale",
+    "SCALES",
+    "FigureResult",
+    "figure2_iq_throughput",
+    "figure3_copies",
+    "figure4_iq_stalls",
+    "figure5_imbalance",
+    "figure6_regfile",
+    "figure9_cdprf",
+    "figure10_fairness",
+    "headline_numbers",
+    "table2_workloads",
+    "format_table",
+    "save_json",
+]

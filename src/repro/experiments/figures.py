@@ -1,0 +1,383 @@
+"""Per-figure reproduction functions.
+
+Each function reruns (through the cached :class:`ExperimentRunner`) exactly
+the experiment behind one figure or table of the paper and returns a
+:class:`FigureResult` holding the same rows/series the paper plots, ready
+to print as a text table or dump as JSON.  EXPERIMENTS.md records the
+paper-vs-measured comparison for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.stats import IMBALANCE_CLASSES
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    ExperimentRunner,
+    RunRecord,
+    figure2_config,
+    figure6_config,
+)
+from repro.metrics.fairness import fairness
+from repro.metrics.throughput import mean
+from repro.trace.workloads import Workload
+
+#: Table 3 schemes in the paper's presentation order.
+IQ_SCHEMES = ("icount", "stall", "flush+", "cisp", "cssp", "cspsp", "pc")
+#: Figure 5's subset.
+IMBALANCE_SCHEMES = ("icount", "cisp", "cssp", "pc")
+#: Table 4 / Figure 6 schemes.
+RF_SCHEMES = ("cssp", "cssprf", "cisprf")
+#: Figure 9 adds the paper's proposal.
+FIG9_SCHEMES = ("cssp", "cssprf", "cisprf", "cdprf")
+#: Figure 10's fairness subjects.
+FAIRNESS_SCHEMES = ("stall", "flush+", "cssp", "cdprf")
+
+
+@dataclass
+class FigureResult:
+    """Rows/series of one reproduced figure."""
+
+    figure: str
+    description: str
+    columns: list[str]
+    rows: dict[str, dict[str, float]]
+    value_format: str = "{:.3f}"
+    row_header: str = "category"
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return format_table(
+            f"{self.figure}: {self.description}",
+            self.rows,
+            self.columns,
+            self.value_format,
+            self.row_header,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "figure": self.figure,
+            "description": self.description,
+            "columns": self.columns,
+            "rows": self.rows,
+            "meta": self.meta,
+        }
+
+    def column_average(self, column: str) -> float:
+        vals = [
+            cells[column]
+            for name, cells in self.rows.items()
+            if column in cells and not name.startswith("AVG")
+        ]
+        return mean(vals)
+
+
+def _per_category(
+    runner: ExperimentRunner,
+    workload_values: dict[tuple[str, str], float],
+) -> dict[str, float]:
+    """Average ``{(category, workload): value}`` into per-category means."""
+    cats: dict[str, list[float]] = {}
+    for (cat, _name), val in workload_values.items():
+        cats.setdefault(cat, []).append(val)
+    return {cat: mean(vals) for cat, vals in cats.items()}
+
+
+def _category_rows(
+    runner: ExperimentRunner,
+    columns: Iterable[str],
+    values: dict[str, dict[tuple[str, str], float]],
+) -> dict[str, dict[str, float]]:
+    """Build ``{category -> {column -> mean}}`` plus the AVG row."""
+    rows: dict[str, dict[str, float]] = {}
+    for cat in runner.pool.categories():
+        rows[cat] = {}
+    avg: dict[str, float] = {}
+    for col in columns:
+        per_cat = _per_category(runner, values[col])
+        for cat, v in per_cat.items():
+            rows[cat][col] = v
+        avg[col] = mean(list(values[col].values()))
+    rows["AVG"] = avg
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Table 2                                                                      #
+# --------------------------------------------------------------------------- #
+
+def table2_workloads(runner: ExperimentRunner) -> FigureResult:
+    """Table 2: the benchmark pool structure."""
+    from repro.trace.categories import WorkloadType
+
+    rows: dict[str, dict[str, float]] = {}
+    for cat in runner.pool.categories():
+        ws = runner.pool.by_category(cat)
+        rows[cat] = {
+            t.value.upper(): float(sum(1 for w in ws if w.wtype == t))
+            for t in WorkloadType
+        }
+    rows["total"] = {"ILP": 0.0, "MEM": 0.0, "MIX": 0.0}
+    for t in ("ILP", "MEM", "MIX"):
+        rows["total"][t] = sum(r[t] for c, r in rows.items() if c != "total")
+    return FigureResult(
+        "Table 2",
+        f"workload pool ({len(runner.pool)} 2-thread workloads, "
+        f"scale={runner.scale.name})",
+        ["ILP", "MEM", "MIX"],
+        rows,
+        value_format="{:.0f}",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figures 2-5: the issue-queue study (unbounded RF/ROB)                        #
+# --------------------------------------------------------------------------- #
+
+def _iq_study_runs(
+    runner: ExperimentRunner, iq_entries: int, schemes: Iterable[str] = IQ_SCHEMES
+) -> dict[tuple[str, str, str], RunRecord]:
+    return runner.sweep(figure2_config(iq_entries), schemes)
+
+
+def figure2_iq_throughput(runner: ExperimentRunner) -> FigureResult:
+    """Figure 2: throughput of the IQ schemes at 32 and 64 entries per
+    cluster, normalized per workload to Icount@32."""
+    runs32 = _iq_study_runs(runner, 32)
+    runs64 = _iq_study_runs(runner, 64)
+    base = {k[1:]: r.ipc for k, r in runs32.items() if k[0] == "icount"}
+
+    columns: list[str] = []
+    values: dict[str, dict[tuple[str, str], float]] = {}
+    for iq, runs in ((32, runs32), (64, runs64)):
+        for pol in IQ_SCHEMES:
+            col = f"{pol}@{iq}"
+            columns.append(col)
+            values[col] = {
+                k[1:]: r.ipc / base[k[1:]] for k, r in runs.items() if k[0] == pol
+            }
+    rows = _category_rows(runner, columns, values)
+    return FigureResult(
+        "Figure 2",
+        "IQ-scheme throughput speedup vs Icount@32 (unbounded RF/ROB)",
+        columns,
+        rows,
+        meta={"iq_entries": [32, 64], "schemes": list(IQ_SCHEMES)},
+    )
+
+
+def figure3_copies(runner: ExperimentRunner) -> FigureResult:
+    """Figure 3: inter-cluster copies per retired instruction (IQ=32)."""
+    runs = _iq_study_runs(runner, 32)
+    columns = list(IQ_SCHEMES)
+    values = {
+        pol: {
+            k[1:]: r.copies_per_committed for k, r in runs.items() if k[0] == pol
+        }
+        for pol in columns
+    }
+    return FigureResult(
+        "Figure 3",
+        "copies per retired instruction (IQ=32, unbounded RF/ROB)",
+        columns,
+        _category_rows(runner, columns, values),
+    )
+
+
+def figure4_iq_stalls(runner: ExperimentRunner) -> FigureResult:
+    """Figure 4: renaming stalls for lack of issue-queue entries per
+    retired instruction (IQ=32)."""
+    runs = _iq_study_runs(runner, 32)
+    columns = list(IQ_SCHEMES)
+    values = {
+        pol: {
+            k[1:]: r.iq_stalls_per_committed for k, r in runs.items() if k[0] == pol
+        }
+        for pol in columns
+    }
+    return FigureResult(
+        "Figure 4",
+        "IQ stalls per retired instruction (IQ=32, unbounded RF/ROB)",
+        columns,
+        _category_rows(runner, columns, values),
+    )
+
+
+def figure5_imbalance(runner: ExperimentRunner) -> FigureResult:
+    """Figure 5: workload-imbalance breakdown.
+
+    Rows are ``category/scheme``; the six columns are the paper's sections:
+    ``0 <class>`` (no cluster could issue the ready uop) and ``1 <class>``
+    (the other cluster had a free compatible port — lost opportunity).
+    Sections sum to 1.0 per row.
+    """
+    runs = _iq_study_runs(runner, 32, IMBALANCE_SCHEMES)
+    sections = [
+        f"{b} {label}" for label in IMBALANCE_CLASSES.values() for b in (0, 1)
+    ]
+    rows: dict[str, dict[str, float]] = {}
+    for cat in runner.pool.categories() + ["AVG"]:
+        for pol in IMBALANCE_SCHEMES:
+            acc = {s: 0.0 for s in sections}
+            total = 0.0
+            for (p, c, name), rec in runs.items():
+                if p != pol or (cat != "AVG" and c != cat):
+                    continue
+                for pcls_str, buckets in rec.imbalance.items():
+                    label = IMBALANCE_CLASSES[int(pcls_str)]
+                    acc[f"0 {label}"] += buckets[0]
+                    acc[f"1 {label}"] += buckets[1]
+                    total += buckets[0] + buckets[1]
+            if total > 0:
+                rows[f"{cat}/{pol}"] = {s: v / total for s, v in acc.items()}
+    return FigureResult(
+        "Figure 5",
+        "workload-imbalance sections (share of ready-but-unissued events)",
+        sections,
+        rows,
+        row_header="category/scheme",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6: static register-file partitions                                    #
+# --------------------------------------------------------------------------- #
+
+def figure6_regfile(runner: ExperimentRunner) -> FigureResult:
+    """Figure 6: CSSP vs CSSPRF vs CISPRF at 64 and 128 registers per
+    cluster, normalized per workload to Icount with 64 registers."""
+    base_runs = runner.sweep(figure6_config(64), ["icount"])
+    base = {k[1:]: r.ipc for k, r in base_runs.items()}
+    columns: list[str] = []
+    values: dict[str, dict[tuple[str, str], float]] = {}
+    for regs in (64, 128):
+        runs = runner.sweep(figure6_config(regs), RF_SCHEMES)
+        for pol in RF_SCHEMES:
+            col = f"{pol}@{regs}"
+            columns.append(col)
+            values[col] = {
+                k[1:]: r.ipc / base[k[1:]] for k, r in runs.items() if k[0] == pol
+            }
+    rows = _category_rows(runner, columns, values)
+    return FigureResult(
+        "Figure 6",
+        "RF-scheme throughput speedup vs Icount@64regs (IQ=32)",
+        columns,
+        rows,
+        meta={"regs": [64, 128], "schemes": list(RF_SCHEMES)},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 9: CDPRF on ISPEC-FSPEC                                               #
+# --------------------------------------------------------------------------- #
+
+def figure9_cdprf(runner: ExperimentRunner, per_type: int = 4) -> FigureResult:
+    """Figure 9: per-workload throughput of the RF schemes plus CDPRF on
+    the register-class-disjoint ISPEC-FSPEC category (64 regs/cluster),
+    normalized to Icount; plus the AVG row."""
+    pool = runner.ispec_fspec_pool(per_type)
+    config = figure6_config(64)
+    base = {
+        (w.category, w.name): runner.run(config, "icount", w).ipc for w in pool
+    }
+    rows: dict[str, dict[str, float]] = {}
+    for w in pool:
+        rows[w.name] = {}
+    for pol in FIG9_SCHEMES:
+        for w in pool:
+            rec = runner.run(config, pol, w)
+            rows[w.name][pol] = rec.ipc / base[(w.category, w.name)]
+    avg = {
+        pol: mean([cells[pol] for cells in rows.values()]) for pol in FIG9_SCHEMES
+    }
+    rows["AVG"] = avg
+    return FigureResult(
+        "Figure 9",
+        "ISPEC-FSPEC throughput speedup vs Icount (64 regs, IQ=32)",
+        list(FIG9_SCHEMES),
+        rows,
+        row_header="workload",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figure 10: fairness                                                          #
+# --------------------------------------------------------------------------- #
+
+def _workload_fairness(
+    runner: ExperimentRunner, config, policy: str, workload: Workload
+) -> float:
+    rec = runner.run(config, policy, workload)
+    st = [runner.run_single(config, tr) for tr in workload.traces]
+    return fairness(
+        [rec.thread_ipc(t) for t in range(workload.num_threads)],
+        [s.ipc for s in st],
+    )
+
+
+def figure10_fairness(runner: ExperimentRunner) -> FigureResult:
+    """Figure 10: fairness speedup vs Icount (min-slowdown-ratio metric of
+    [17]/[33], single-thread references run on the full machine)."""
+    config = figure6_config(64)
+    columns = list(FAIRNESS_SCHEMES)
+    values: dict[str, dict[tuple[str, str], float]] = {c: {} for c in columns}
+    for w in runner.pool:
+        base_fair = _workload_fairness(runner, config, "icount", w)
+        for pol in columns:
+            f = _workload_fairness(runner, config, pol, w)
+            values[pol][(w.category, w.name)] = (
+                f / base_fair if base_fair > 0 else 1.0
+            )
+    rows = _category_rows(runner, columns, values)
+    rows["Average"] = rows.pop("AVG")
+    return FigureResult(
+        "Figure 10",
+        "fairness speedup vs Icount (64 regs, IQ=32)",
+        columns,
+        rows,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Headline numbers                                                             #
+# --------------------------------------------------------------------------- #
+
+def headline_numbers(runner: ExperimentRunner) -> FigureResult:
+    """The abstract's claims: CSSP+CDPRF throughput vs Icount (paper:
+    +17.6%, with CSSP contributing ~16% and the dynamic RF ~1.6%) and
+    fairness vs Icount (paper: +24%)."""
+    config = figure6_config(64)
+    icount = runner.sweep(config, ["icount"])
+    cssp = runner.sweep(config, ["cssp"])
+    cdprf = runner.sweep(config, ["cdprf"])
+
+    def _speedup(runs):
+        return mean(
+            [
+                runs[(p, c, n)].ipc / icount[("icount", c, n)].ipc
+                for (p, c, n) in runs
+            ]
+        )
+
+    fair_rows = figure10_fairness(runner).rows["Average"]
+    rows = {
+        "throughput speedup vs icount": {
+            "cssp": _speedup(cssp),
+            "cdprf": _speedup(cdprf),
+        },
+        "fairness speedup vs icount": {
+            "cssp": fair_rows["cssp"],
+            "cdprf": fair_rows["cdprf"],
+        },
+    }
+    return FigureResult(
+        "Headline",
+        "paper: CDPRF = +17.6% throughput, +24% fairness over Icount",
+        ["cssp", "cdprf"],
+        rows,
+        row_header="metric",
+    )

@@ -1,0 +1,41 @@
+"""Text tables and JSON output for the figure reproductions."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    value_format: str = "{:.3f}",
+    row_header: str = "category",
+) -> str:
+    """Render ``{row -> {column -> value}}`` as an aligned text table."""
+    widths = [max(len(row_header), max((len(r) for r in rows), default=0))]
+    widths += [max(7, len(c)) for c in columns]
+    lines = [title, ""]
+    header = f"{row_header:<{widths[0]}}"
+    for c, w in zip(columns, widths[1:]):
+        header += f"  {c:>{w}}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_name, cells in rows.items():
+        line = f"{row_name:<{widths[0]}}"
+        for c, w in zip(columns, widths[1:]):
+            val = cells.get(c)
+            text = value_format.format(val) if val is not None else "-"
+            line += f"  {text:>{w}}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def save_json(path: str | Path, payload: Any) -> Path:
+    """Write a machine-readable copy next to the human table."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True, default=str))
+    return path

@@ -1,0 +1,297 @@
+"""Cached experiment runner.
+
+All figure reproductions funnel their simulations through one
+:class:`ExperimentRunner`, which:
+
+* owns the workload pool for the chosen :class:`Scale` (``quick`` for CI
+  and the default benchmark run, ``full`` for a paper-scale overnight run —
+  select with the ``REPRO_SCALE`` environment variable);
+* caches results in memory and, when given a ``cache_dir``, on disk as
+  JSON, keyed by (scale, config digest, policy, workload, run parameters) —
+  Figures 2-5 share runs, Figure 10 reuses Figure 2's Icount runs, and
+  repeated benchmark invocations are free;
+* provides the single-thread reference runs the fairness metric needs.
+
+Every simulation uses warmup (a fraction of the trace) and ILP-trace cache
+prewarm, per DESIGN.md's steady-state substitution notes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.config import ProcessorConfig, baseline_config
+from repro.core.simulator import SimResult, run_simulation
+from repro.trace.trace import Trace
+from repro.trace.workloads import Workload, WorkloadPool, build_pool
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs."""
+
+    name: str
+    n_uops: int          # per-thread trace length
+    n_ilp: int           # workloads per category per type
+    n_mem: int
+    n_mix: int
+    n_mixes_category: int
+    warmup_frac: float = 0.25
+    max_cycles_factor: int = 25  # max cycles = factor * n_uops
+
+    @property
+    def warmup_uops(self) -> int:
+        return int(self.n_uops * self.warmup_frac)
+
+    @property
+    def max_cycles(self) -> int:
+        return self.max_cycles_factor * self.n_uops
+
+
+#: Predefined scales.  ``quick`` regenerates every figure in ~15 minutes on
+#: one core; ``full`` matches Table 2's workload counts.
+SCALES: dict[str, Scale] = {
+    "smoke": Scale("smoke", n_uops=2500, n_ilp=1, n_mem=1, n_mix=1, n_mixes_category=2),
+    "quick": Scale("quick", n_uops=8000, n_ilp=1, n_mem=1, n_mix=1, n_mixes_category=4),
+    "medium": Scale("medium", n_uops=12000, n_ilp=2, n_mem=2, n_mix=1, n_mixes_category=8),
+    "full": Scale("full", n_uops=30000, n_ilp=3, n_mem=3, n_mix=2, n_mixes_category=32),
+}
+
+
+def scale_from_env(default: str = "quick") -> Scale:
+    """Resolve the scale from ``REPRO_SCALE`` (smoke/quick/medium/full)."""
+    name = os.environ.get("REPRO_SCALE", default)
+    if name not in SCALES:
+        raise KeyError(f"REPRO_SCALE={name!r}; known scales: {sorted(SCALES)}")
+    return SCALES[name]
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Cache identity of one simulation."""
+
+    scale: str
+    config: str        # ProcessorConfig digest
+    policy: str
+    workload: str      # "category/name" or "st/<trace name>"
+    stop: str
+
+    def filename(self) -> str:
+        safe = self.workload.replace("/", "_").replace("+", "p")
+        return f"{self.scale}-{self.config}-{self.policy}-{safe}-{self.stop}.json"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The slice of a SimResult the figures consume (JSON-serializable)."""
+
+    ipc: float
+    cycles: int
+    committed: int
+    committed_per_thread: tuple[int, ...]
+    copies_per_committed: float
+    iq_stalls_per_committed: float
+    imbalance: dict[str, list[int]]
+    flushes: int
+    extra: dict[str, Any]
+
+    @classmethod
+    def from_result(cls, res: SimResult) -> "RunRecord":
+        """Extract the cacheable slice of a full simulation result."""
+        return cls(
+            ipc=res.ipc,
+            cycles=res.cycles,
+            committed=res.committed,
+            committed_per_thread=tuple(res.committed_per_thread),
+            copies_per_committed=res.stats["copies_per_committed"],
+            iq_stalls_per_committed=res.stats["iq_stalls_per_committed"],
+            imbalance=res.stats["imbalance"],
+            flushes=res.stats["flushes"],
+            extra=res.stats["extra"],
+        )
+
+    def thread_ipc(self, tid: int) -> float:
+        return self.committed_per_thread[tid] / self.cycles if self.cycles else 0.0
+
+
+class ExperimentRunner:
+    """Workload pool + cached simulation front door."""
+
+    def __init__(
+        self,
+        scale: Scale | str | None = None,
+        cache_dir: str | Path | None = None,
+        pool: WorkloadPool | None = None,
+    ) -> None:
+        if scale is None:
+            scale = scale_from_env()
+        if isinstance(scale, str):
+            scale = SCALES[scale]
+        self.scale = scale
+        self._pool = pool
+        self._memory: dict[RunKey, RunRecord] = {}
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if self.cache_dir:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.sims_run = 0
+        self.cache_hits = 0
+
+    # -- pool ---------------------------------------------------------------
+
+    @property
+    def pool(self) -> WorkloadPool:
+        """The scale's workload pool, built lazily and reused."""
+        if self._pool is None:
+            s = self.scale
+            self._pool = build_pool(
+                n_uops=s.n_uops,
+                n_ilp=s.n_ilp,
+                n_mem=s.n_mem,
+                n_mix=s.n_mix,
+                n_mixes_category=s.n_mixes_category,
+            )
+        return self._pool
+
+    def ispec_fspec_pool(self, n: int = 4) -> WorkloadPool:
+        """The expanded ISPEC-FSPEC pool Figure 9 plots (ilp/mem/mix.2.*)."""
+        s = self.scale
+        return build_pool(
+            n_uops=s.n_uops,
+            n_ilp=n,
+            n_mem=n,
+            n_mix=2 * n,
+            n_mixes_category=0,
+            categories=("ISPEC-FSPEC",),
+        )
+
+    def _make_policy(self, policy: str):
+        """Instantiate a policy, adapting CDPRF's interval to the run length.
+
+        The paper uses a 128K-cycle interval on traces billions of
+        instructions long; our runs last tens of thousands of cycles, so
+        the interval scales proportionally (several adaptations per run,
+        as in the paper).
+        """
+        from repro.policies.registry import make_policy
+
+        if policy == "cdprf":
+            return make_policy("cdprf", interval=max(512, self.scale.n_uops // 8))
+        return make_policy(policy)
+
+    # -- cached running -------------------------------------------------------
+
+    def _cache_get(self, key: RunKey) -> RunRecord | None:
+        if key in self._memory:
+            self.cache_hits += 1
+            return self._memory[key]
+        if self.cache_dir:
+            path = self.cache_dir / key.filename()
+            if path.exists():
+                data = json.loads(path.read_text())
+                rec = RunRecord(
+                    **{
+                        **data,
+                        "committed_per_thread": tuple(data["committed_per_thread"]),
+                    }
+                )
+                self._memory[key] = rec
+                self.cache_hits += 1
+                return rec
+        return None
+
+    def _cache_put(self, key: RunKey, rec: RunRecord) -> None:
+        self._memory[key] = rec
+        if self.cache_dir:
+            path = self.cache_dir / key.filename()
+            path.write_text(json.dumps(dataclasses.asdict(rec)))
+
+    def run(
+        self,
+        config: ProcessorConfig,
+        policy: str,
+        workload: Workload,
+        stop: str = "first_done",
+    ) -> RunRecord:
+        """Simulate (or fetch from cache) one 2-thread workload."""
+        key = RunKey(
+            self.scale.name,
+            config.digest(),
+            policy,
+            f"{workload.category}/{workload.name}",
+            stop,
+        )
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        res = run_simulation(
+            config,
+            self._make_policy(policy),
+            list(workload.traces),
+            max_cycles=self.scale.max_cycles,
+            stop=stop,
+            workload_name=key.workload,
+            warmup_uops=self.scale.warmup_uops,
+            prewarm_caches=True,
+        )
+        rec = RunRecord.from_result(res)
+        self._cache_put(key, rec)
+        self.sims_run += 1
+        return rec
+
+    def run_single(self, config: ProcessorConfig, trace: Trace) -> RunRecord:
+        """Single-thread reference run (fairness denominator), cached."""
+        st_config = config.with_threads(1)
+        key = RunKey(
+            self.scale.name, st_config.digest(), "icount", f"st/{trace.name}", "all_done"
+        )
+        cached = self._cache_get(key)
+        if cached is not None:
+            return cached
+        res = run_simulation(
+            st_config,
+            "icount",
+            [trace],
+            max_cycles=self.scale.max_cycles,
+            stop="all_done",
+            workload_name=key.workload,
+            warmup_uops=self.scale.warmup_uops // 2,
+            prewarm_caches=True,
+        )
+        rec = RunRecord.from_result(res)
+        self._cache_put(key, rec)
+        self.sims_run += 1
+        return rec
+
+    # -- sweeps ---------------------------------------------------------------
+
+    def sweep(
+        self,
+        config: ProcessorConfig,
+        policies: Iterable[str],
+        workloads: Iterable[Workload] | None = None,
+    ) -> dict[tuple[str, str, str], RunRecord]:
+        """Run every (policy, workload) pair; returns
+        ``{(policy, category, name): record}``."""
+        out: dict[tuple[str, str, str], RunRecord] = {}
+        wls = list(workloads) if workloads is not None else list(self.pool)
+        for policy in policies:
+            for wl in wls:
+                out[(policy, wl.category, wl.name)] = self.run(config, policy, wl)
+        return out
+
+
+def figure2_config(iq_entries: int) -> ProcessorConfig:
+    """Figure 2-5 machine: unbounded RF/ROB isolates the issue queues."""
+    return baseline_config(unbounded_regs=True, unbounded_rob=True).with_iq_entries(
+        iq_entries
+    )
+
+
+def figure6_config(regs: int) -> ProcessorConfig:
+    """Figure 6/9/10 machine: bounded registers, 32-entry IQs."""
+    return baseline_config().with_iq_entries(32).with_regs(regs)

@@ -1,0 +1,8 @@
+"""Monolithic SMT front-end: predictor, trace cache, rename tables, steering."""
+
+from repro.frontend.branch import GShare
+from repro.frontend.tracecache import TraceCache
+from repro.frontend.rename import RenameTable, Mapping
+from repro.frontend.steering import Steering
+
+__all__ = ["GShare", "TraceCache", "RenameTable", "Mapping", "Steering"]

@@ -1,0 +1,111 @@
+"""Per-thread register rename tables with cross-cluster replicas.
+
+Each thread maps every architectural register to a *home* physical register
+in some cluster.  When a consumer is steered to the other cluster, the
+rename logic generates a copy uop (Section 3: "inter-cluster communication
+is performed via copy instructions that are generated on-demand by the
+rename logic") and records the allocated destination as the mapping's
+*replica*: later consumers in that cluster reuse it instead of generating
+another copy.
+
+Initial architectural state uses the :data:`~repro.backend.regfile.READY_EVERYWHERE`
+sentinel — ready in both clusters, no physical backing — so simulation
+startup does not skew cluster occupancy.
+
+The table supports exact undo (for branch/flush squash walks) via the
+``Mapping`` snapshots returned by :meth:`RenameTable.define`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.regfile import READY_EVERYWHERE
+from repro.isa import NO_REG, NUM_ARCH_REGS
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """Snapshot of one architectural register's physical location(s)."""
+
+    cluster: int        # home cluster (-1 when READY_EVERYWHERE)
+    phys: int           # home physical register or READY_EVERYWHERE
+    replica: int        # physical register in the other cluster, or NO_REG
+
+    @property
+    def is_static(self) -> bool:
+        """True for pre-simulation values (no physical backing)."""
+        return self.phys == READY_EVERYWHERE
+
+
+_STATIC = Mapping(cluster=-1, phys=READY_EVERYWHERE, replica=NO_REG)
+
+
+class RenameTable:
+    """One thread's architectural-to-physical mapping."""
+
+    __slots__ = ("_cluster", "_phys", "_replica")
+
+    def __init__(self) -> None:
+        self._cluster = [-1] * NUM_ARCH_REGS
+        self._phys = [READY_EVERYWHERE] * NUM_ARCH_REGS
+        self._replica = [NO_REG] * NUM_ARCH_REGS
+
+    def lookup(self, arch: int) -> Mapping:
+        """Current mapping of ``arch``."""
+        return Mapping(self._cluster[arch], self._phys[arch], self._replica[arch])
+
+    def present_in(self, arch: int, cluster: int) -> bool:
+        """Is the current value of ``arch`` available in ``cluster``?"""
+        phys = self._phys[arch]
+        if phys == READY_EVERYWHERE:
+            return True
+        return self._cluster[arch] == cluster or self._replica[arch] != NO_REG
+
+    def phys_in(self, arch: int, cluster: int) -> int:
+        """Physical register holding ``arch`` in ``cluster``.
+
+        Returns ``READY_EVERYWHERE`` for static values and ``NO_REG`` when
+        the value is not present in that cluster (a copy is required).
+        """
+        phys = self._phys[arch]
+        if phys == READY_EVERYWHERE:
+            return READY_EVERYWHERE
+        if self._cluster[arch] == cluster:
+            return phys
+        return self._replica[arch]
+
+    def define(self, arch: int, cluster: int, phys: int) -> Mapping:
+        """Point ``arch`` at a new home; returns the previous mapping."""
+        prev = self.lookup(arch)
+        self._cluster[arch] = cluster
+        self._phys[arch] = phys
+        self._replica[arch] = NO_REG
+        return prev
+
+    def undo_define(self, arch: int, prev: Mapping) -> None:
+        """Restore a mapping snapshot (squash walk, youngest first)."""
+        self._cluster[arch] = prev.cluster
+        self._phys[arch] = prev.phys
+        self._replica[arch] = prev.replica
+
+    def set_replica(self, arch: int, phys: int) -> None:
+        """Record that a copy is materializing ``arch`` in the other cluster."""
+        if self._phys[arch] == READY_EVERYWHERE:
+            raise RuntimeError("static values never need replicas")
+        if self._replica[arch] != NO_REG:
+            raise RuntimeError(f"arch reg {arch} already has a replica")
+        self._replica[arch] = phys
+
+    def clear_replica(self, arch: int, phys: int) -> None:
+        """Drop a replica pointer when its copy uop is squashed."""
+        if self._replica[arch] == phys:
+            self._replica[arch] = NO_REG
+
+    def live_mappings(self) -> list[tuple[int, Mapping]]:
+        """All dynamically mapped registers (tests / leak checks)."""
+        return [
+            (arch, self.lookup(arch))
+            for arch in range(NUM_ARCH_REGS)
+            if self._phys[arch] != READY_EVERYWHERE
+        ]

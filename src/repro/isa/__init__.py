@@ -1,0 +1,25 @@
+"""Micro-operation ISA model: uop classes, register namespaces, dynamic uops."""
+
+from repro.isa.registers import (
+    NUM_ARCH_INT,
+    NUM_ARCH_FP,
+    NUM_ARCH_REGS,
+    RegClass,
+    reg_class,
+    reg_name,
+)
+from repro.isa.uops import UopClass, Uop, NO_REG, is_mem_class, port_class
+
+__all__ = [
+    "NUM_ARCH_INT",
+    "NUM_ARCH_FP",
+    "NUM_ARCH_REGS",
+    "RegClass",
+    "reg_class",
+    "reg_name",
+    "UopClass",
+    "Uop",
+    "NO_REG",
+    "is_mem_class",
+    "port_class",
+]

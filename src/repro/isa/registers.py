@@ -1,0 +1,44 @@
+"""Architectural register namespaces.
+
+The simulated ISA is an x86-64-like micro-op ISA with two architectural
+register files, matching the two physical register files per cluster the
+paper models (Section 3: "two register files (integer, and floating
+point/SSE)"):
+
+* integer registers ``r0 .. r15`` — ids ``0 .. 15``
+* FP/SIMD registers ``x0 .. x15`` — ids ``16 .. 31``
+
+A register id encodes its class by range, so hot paths can classify with a
+single comparison instead of a lookup.
+"""
+
+from __future__ import annotations
+
+import enum
+
+NUM_ARCH_INT = 16
+NUM_ARCH_FP = 16
+NUM_ARCH_REGS = NUM_ARCH_INT + NUM_ARCH_FP
+
+
+class RegClass(enum.IntEnum):
+    """Physical/architectural register file selector."""
+
+    INT = 0
+    FP = 1  # combined FP/SSE
+
+
+def reg_class(arch_reg: int) -> RegClass:
+    """Class of an architectural register id."""
+    if not 0 <= arch_reg < NUM_ARCH_REGS:
+        raise ValueError(f"architectural register {arch_reg} out of range")
+    return RegClass.INT if arch_reg < NUM_ARCH_INT else RegClass.FP
+
+
+def reg_name(arch_reg: int) -> str:
+    """Assembly-style name for an architectural register id."""
+    if not 0 <= arch_reg < NUM_ARCH_REGS:
+        raise ValueError(f"architectural register {arch_reg} out of range")
+    if arch_reg < NUM_ARCH_INT:
+        return f"r{arch_reg}"
+    return f"x{arch_reg - NUM_ARCH_INT}"

@@ -1,0 +1,208 @@
+"""Dynamic micro-operation model.
+
+A :class:`Uop` is the unit that flows down the simulated pipeline.  Static
+fields come from the trace (or from the wrong-path generator); dynamic
+fields are filled in as the uop is fetched, renamed, steered, issued,
+executed and committed.  The class uses ``__slots__`` because millions of
+uops are created per simulation and attribute storage is the dominant cost.
+
+Port classes
+------------
+Each cluster has three issue ports (Table 1):
+
+* port 0: int, fp, simd
+* port 1: int, fp, simd
+* port 2: int, mem
+
+so a uop's *port class* is one of ``PORT_INT`` (can use any port),
+``PORT_FP`` (ports 0/1) or ``PORT_MEM`` (port 2 only).  Branches and copy
+uops execute on integer ALUs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+NO_REG = -1
+
+
+class UopClass(enum.IntEnum):
+    """Execution class of a micro-operation."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP = 2
+    SIMD = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+    COPY = 7
+
+
+# Port classes (values index repro.backend.execute.PORT_CAPS bitmasks).
+PORT_INT = 0
+PORT_FP = 1
+PORT_MEM = 2
+
+_PORT_CLASS = {
+    UopClass.INT_ALU: PORT_INT,
+    UopClass.INT_MUL: PORT_INT,
+    UopClass.FP: PORT_FP,
+    UopClass.SIMD: PORT_FP,
+    UopClass.LOAD: PORT_MEM,
+    UopClass.STORE: PORT_MEM,
+    UopClass.BRANCH: PORT_INT,
+    UopClass.COPY: PORT_INT,
+}
+
+_MEM_CLASSES = frozenset({UopClass.LOAD, UopClass.STORE})
+
+
+def port_class(uop_class: UopClass) -> int:
+    """Issue-port class for a uop class."""
+    return _PORT_CLASS[uop_class]
+
+
+def is_mem_class(uop_class: UopClass) -> bool:
+    """True for loads and stores."""
+    return uop_class in _MEM_CLASSES
+
+
+class Uop:
+    """One in-flight micro-operation.
+
+    Lifecycle flags are encoded by which fields are set rather than a state
+    enum; the pipeline stages only ever see uops in the states they handle.
+    """
+
+    __slots__ = (
+        # --- static (trace / generator) ---
+        "tid",          # owning hardware thread
+        "seq",          # per-thread trace index (-1 for wrong-path/copy uops)
+        "opclass",      # UopClass
+        "dest",         # architectural destination register or NO_REG
+        "src1",         # architectural source or NO_REG
+        "src2",
+        "pc",           # synthetic program counter
+        "taken",        # branch outcome from the trace (branches only)
+        "mem_line",     # cache-line address (loads/stores only)
+        "wrong_path",   # fetched beyond an unresolved mispredicted branch
+        "indirect",     # multi-target branch (predicted by the target cache)
+        "target",       # actual dynamic target id (indirect branches)
+        "complex_op",   # MROM-decoded complex macro-op (fetch-serializing)
+        # --- front-end dynamic ---
+        "age",          # global rename order number (total order across threads)
+        "predicted_taken",
+        "mispredicted",  # set at fetch when prediction != trace outcome
+        "cluster",      # execution cluster chosen by steering
+        "preferred_cluster",  # steering's first choice (before policy override)
+        "dest_class",   # RegClass of dest (valid when dest != NO_REG)
+        "phys_dest",    # physical register index in (cluster, dest_class)
+        "prev_phys",    # previous mapping of dest, for squash undo + commit free
+        "prev_phys_cluster",
+        "prev_replica",  # previous mapping's replica phys reg (other cluster)
+        "wait_count",   # outstanding not-ready physical sources
+        "rob_index",    # position in the per-thread ROB ring (-1 for copies)
+        "mob_index",    # MOB slot (loads/stores)
+        # --- back-end dynamic ---
+        "issued",
+        "completed",
+        "complete_cycle",
+        "squashed",
+        "l2_miss",      # load that missed in L2 (drives Stall/Flush+)
+        "copy_parent",  # for COPY uops: the consumer uop age that required it
+        "waits",        # (cluster, regclass, phys) wait registrations, or None
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        opclass: UopClass,
+        dest: int = NO_REG,
+        src1: int = NO_REG,
+        src2: int = NO_REG,
+        pc: int = 0,
+        seq: int = -1,
+        taken: bool = False,
+        mem_line: int = 0,
+        wrong_path: bool = False,
+    ) -> None:
+        self.tid = tid
+        self.seq = seq
+        self.opclass = opclass
+        self.dest = dest
+        self.src1 = src1
+        self.src2 = src2
+        self.pc = pc
+        self.taken = taken
+        self.mem_line = mem_line
+        self.wrong_path = wrong_path
+        self.indirect = False
+        self.target = 0
+        self.complex_op = False
+
+        self.age = -1
+        self.predicted_taken = False
+        self.mispredicted = False
+        self.cluster = -1
+        self.preferred_cluster = -1
+        self.dest_class = 0
+        self.phys_dest = NO_REG
+        self.prev_phys = NO_REG
+        self.prev_phys_cluster = -1
+        self.prev_replica = NO_REG
+        self.wait_count = 0
+        self.rob_index = -1
+        self.mob_index = -1
+        self.issued = False
+        self.completed = False
+        self.complete_cycle = -1
+        self.squashed = False
+        self.l2_miss = False
+        self.copy_parent = -1
+        self.waits: list[tuple[int, int, int]] | None = None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass == UopClass.BRANCH
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass == UopClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass == UopClass.STORE
+
+    @property
+    def is_copy(self) -> bool:
+        return self.opclass == UopClass.COPY
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opclass == UopClass.LOAD or self.opclass == UopClass.STORE
+
+    def sources(self) -> tuple[int, ...]:
+        """Architectural source registers actually used (no NO_REG)."""
+        if self.src1 == NO_REG:
+            return ()
+        if self.src2 == NO_REG:
+            return (self.src1,)
+        return (self.src1, self.src2)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flags = "".join(
+            f
+            for f, on in (
+                ("W", self.wrong_path),
+                ("I", self.issued),
+                ("C", self.completed),
+                ("S", self.squashed),
+            )
+            if on
+        )
+        return (
+            f"<Uop t{self.tid} #{self.seq} {self.opclass.name} "
+            f"d={self.dest} s=({self.src1},{self.src2}) "
+            f"age={self.age} cl={self.cluster} {flags}>"
+        )

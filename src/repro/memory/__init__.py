@@ -1,0 +1,7 @@
+"""Memory hierarchy substrate: caches, TLBs, buses (Table 1 parameters)."""
+
+from repro.memory.cache import SetAssocCache
+from repro.memory.tlb import TLB
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = ["SetAssocCache", "TLB", "AccessResult", "MemoryHierarchy"]

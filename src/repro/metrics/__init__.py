@@ -1,0 +1,10 @@
+"""Evaluation metrics: throughput and fairness (Section 4)."""
+
+from repro.metrics.throughput import (
+    geomean,
+    normalize,
+    speedup,
+)
+from repro.metrics.fairness import fairness, fairness_speedup
+
+__all__ = ["geomean", "normalize", "speedup", "fairness", "fairness_speedup"]

@@ -1,0 +1,46 @@
+"""Fairness metric (Luo et al. [17] as formulated by Gabor et al. [33]).
+
+"A system is fair if all the threads experience an equal slowdown compared
+to the performance they have when executed alone" (Section 4).  With
+per-thread multithreaded IPCs and single-thread reference IPCs, each
+thread's *relative progress* is ``ipc_mt / ipc_st``; fairness is the
+minimum ratio between any two threads' progresses:
+
+    fairness = min_{i,j} (progress_i / progress_j)
+
+which is 1.0 when all threads slow down equally and approaches 0 when one
+thread is starved.  Figure 10 reports each scheme's fairness divided by
+Icount's (the *fairness speedup*).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def fairness(mt_ipcs: Sequence[float], st_ipcs: Sequence[float]) -> float:
+    """Min-ratio fairness in [0, 1]."""
+    if len(mt_ipcs) != len(st_ipcs):
+        raise ValueError("need one single-thread reference per thread")
+    if len(mt_ipcs) < 2:
+        raise ValueError("fairness needs at least two threads")
+    if any(s <= 0 for s in st_ipcs):
+        raise ValueError("single-thread IPCs must be positive")
+    progress = [m / s for m, s in zip(mt_ipcs, st_ipcs)]
+    hi = max(progress)
+    lo = min(progress)
+    if hi <= 0.0:
+        return 0.0
+    return lo / hi
+
+
+def fairness_speedup(
+    mt_ipcs: Sequence[float],
+    st_ipcs: Sequence[float],
+    baseline_mt_ipcs: Sequence[float],
+) -> float:
+    """A scheme's fairness relative to the baseline scheme's (Figure 10)."""
+    base = fairness(baseline_mt_ipcs, st_ipcs)
+    if base <= 0.0:
+        raise ValueError("baseline fairness is zero; speedup undefined")
+    return fairness(mt_ipcs, st_ipcs) / base

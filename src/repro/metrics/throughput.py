@@ -1,0 +1,43 @@
+"""Throughput helpers.
+
+The paper's throughput metric is conventional: committed instructions per
+cycle, compared as speedups normalized to a baseline (Icount with the
+smallest resource configuration in Figure 2, Icount with 64 registers in
+Figure 6).  Per-category bars are averaged arithmetically over the
+workloads in the category, matching the figures' AVG bars.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def speedup(value: float, baseline: float) -> float:
+    """``value / baseline`` with a defined result for a dead baseline."""
+    if baseline <= 0.0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return value / baseline
+
+
+def normalize(values: Sequence[float], baseline: float) -> list[float]:
+    """Normalize a series to a scalar baseline."""
+    return [speedup(v, baseline) for v in values]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (the paper's AVG bars)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (reported alongside, standard for speedup ratios)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,43 @@
+"""Resource assignment schemes (the paper's subject and contribution).
+
+Issue-queue schemes (Table 3): Icount, Stall, Flush+, CISP, CSSP, CSPSP, PC.
+Register-file schemes (Table 4 + Section 5.2): CSSPRF, CISPRF and the
+proposed dynamic CDPRF.
+
+Extensions (the paper's future work, Section 6): DCRA [30] and
+hill-climbing [32] adapted to the clustered machine.
+"""
+
+from repro.policies.base import ResourcePolicy
+from repro.policies.icount import IcountPolicy
+from repro.policies.stall import StallPolicy
+from repro.policies.flushplus import FlushPlusPolicy
+from repro.policies.static_partition import (
+    CISPPolicy,
+    CSSPPolicy,
+    CSPSPPolicy,
+    PrivateClustersPolicy,
+)
+from repro.policies.regfile_static import CSSPRFPolicy, CISPRFPolicy
+from repro.policies.cdprf import CDPRFPolicy
+from repro.policies.dcra import DCRAPolicy
+from repro.policies.hillclimb import HillClimbPolicy
+from repro.policies.registry import POLICY_NAMES, make_policy
+
+__all__ = [
+    "ResourcePolicy",
+    "IcountPolicy",
+    "StallPolicy",
+    "FlushPlusPolicy",
+    "CISPPolicy",
+    "CSSPPolicy",
+    "CSPSPPolicy",
+    "PrivateClustersPolicy",
+    "CSSPRFPolicy",
+    "CISPRFPolicy",
+    "CDPRFPolicy",
+    "DCRAPolicy",
+    "HillClimbPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+]

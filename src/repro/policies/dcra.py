@@ -1,0 +1,85 @@
+"""DCRA adapted to clusters (the paper's future work, Section 6).
+
+Cazorla et al.'s *Dynamically Controlled Resource Allocation* [30] classifies
+threads by behaviour and gives memory-intensive ("slow") threads a larger
+share of the shared resources, on the theory that a thread with outstanding
+misses needs a deeper window to expose memory-level parallelism, while
+compute-bound ("fast") threads make progress with less.
+
+The paper lists adapting DCRA to a clustered back-end as future work, using
+its conclusions: issue-queue control must be **cluster-sensitive** and
+register control **cluster-insensitive**.  This implementation follows
+those rules:
+
+* per-cluster IQ shares: a slow thread's share is
+  ``capacity * (1 + slow_boost) / num_threads`` (clamped), fast threads
+  get the remainder — evaluated per cluster, like CSSP;
+* register shares: same formula over the *pooled* per-class register
+  files, like CISPRF/CDPRF;
+* classification: a thread is *slow* while it has a pending L2 miss,
+  re-evaluated continuously via the pipeline's miss/fill events (this is
+  DCRA's "memory-intensive" test specialized to 2 threads).
+
+Rename selection stays Icount, as for all schemes in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.policies.regfile_static import _RegMeteredCSSP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.isa import Uop
+
+
+class DCRAPolicy(_RegMeteredCSSP):
+    """Cluster-aware DCRA: miss-pending threads get boosted shares."""
+
+    name = "dcra"
+
+    def __init__(self, slow_boost: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 <= slow_boost <= 1.0:
+            raise ValueError("slow_boost must be in [0, 1]")
+        self.slow_boost = slow_boost
+
+    def attach(self, proc) -> None:  # noqa: D102
+        super().attach(proc)
+        self._slow = [False] * proc.config.num_threads
+
+    # -- classification -----------------------------------------------------
+
+    def on_l2_miss(self, uop: "Uop") -> None:
+        self._slow[uop.tid] = True
+
+    def on_l2_fill(self, tid: int) -> None:
+        self._slow[tid] = False
+
+    def _share(self, capacity: int, tid: int) -> int:
+        """This thread's current share of a resource of ``capacity``."""
+        assert self.proc is not None
+        n = self.proc.config.num_threads
+        equal = capacity / n
+        n_slow = sum(self._slow)
+        if n_slow == 0 or n_slow == n:
+            return max(1, int(equal))  # homogeneous: equal split
+        if self._slow[tid]:
+            return max(1, min(capacity - (n - 1), int(equal * (1 + self.slow_boost))))
+        # fast threads split what the slow ones leave
+        slow_total = int(equal * (1 + self.slow_boost)) * n_slow
+        return max(1, (capacity - slow_total) // (n - n_slow))
+
+    # -- admission ------------------------------------------------------------
+
+    def may_dispatch(self, tid: int, cluster: int, needed: int = 1) -> bool:
+        assert self.proc is not None
+        iq = self.proc.clusters[cluster].iq
+        return iq.per_thread[tid] + needed <= self._share(iq.capacity, tid)
+
+    def may_alloc_reg(
+        self, tid: int, regclass: int, cluster: int, needed: int = 1
+    ) -> bool:
+        assert self.proc is not None
+        total = sum(c.regs[regclass].capacity for c in self.proc.clusters)
+        return self.total_usage(tid, regclass) + needed <= self._share(total, tid)

@@ -1,0 +1,59 @@
+"""Flush+ (Cazorla et al. [25], improving Flush of Tullsen & Brown [19]).
+
+A thread with a pending L2 miss is *flushed*: every instruction younger
+than the missing load is squashed, releasing all its issue-queue entries,
+physical registers and MOB slots, and its fetch/rename stay blocked until
+the miss resolves (the fetch cursor is rewound so the squashed right-path
+work is re-fetched).
+
+The "+" refinement handles two simultaneously missing threads: "the one
+that missed the first is allowed to continue" (Table 3) — when a second
+thread misses, the earliest misser is un-gated so the machine is never
+fully idle behind two flushes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.policies.icount import IcountPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.isa import Uop
+
+
+class FlushPlusPolicy(IcountPolicy):
+    """Icount + flush-on-L2-miss with first-misser-continues arbitration."""
+
+    name = "flush+"
+
+    def on_l2_miss(self, uop: "Uop") -> None:
+        assert self.proc is not None
+        proc = self.proc
+        thread = proc.threads[uop.tid]
+        missing = [t for t in proc.threads if t.l2_pending > 0]
+        if len(missing) <= 1:
+            # sole misser: original Flush behaviour
+            if not thread.flushed:
+                proc.flush_thread(thread, keep_age=uop.age)
+        else:
+            # multiple missers: earliest continues, the rest are flushed
+            earliest = min(
+                missing,
+                key=lambda t: (
+                    t.first_l2_miss_cycle
+                    if t.first_l2_miss_cycle >= 0
+                    else proc.cycle
+                ),
+            )
+            for t in missing:
+                if t is earliest:
+                    t.flushed = False  # resume even though its miss is pending
+                elif not t.flushed:
+                    proc.flush_thread(
+                        t, keep_age=uop.age if t is thread else None
+                    )
+
+    def on_l2_fill(self, tid: int) -> None:
+        assert self.proc is not None
+        self.proc.threads[tid].flushed = False

@@ -1,0 +1,66 @@
+"""Static register-file partitioning on top of CSSP (Table 4).
+
+* **CSSPRF** — cluster-sensitive: a thread may use at most half of each
+  register file *of each cluster*.  The paper shows this conflicts with the
+  issue-queue scheme's steering decisions and always loses to CISPRF.
+* **CISPRF** — cluster-insensitive: a thread may use at most half of the
+  *total* registers of each kind, wherever they live.
+
+Both meter physical-register ownership per thread via the processor's
+alloc/free hooks (copies allocate registers too and are charged to their
+thread, matching the paper's observation that the register file must fund
+inter-cluster communication).
+"""
+
+from __future__ import annotations
+
+from repro.policies.static_partition import CSSPPolicy
+
+
+class _RegMeteredCSSP(CSSPPolicy):
+    """CSSP plus per-(thread, class, cluster) register ownership counters."""
+
+    def attach(self, proc) -> None:  # noqa: D102
+        super().attach(proc)
+        n, k, c = proc.config.num_threads, 2, proc.config.num_clusters
+        self.reg_usage = [[[0] * c for _ in range(k)] for _ in range(n)]
+
+    def on_reg_alloc(self, tid: int, regclass: int, cluster: int) -> None:
+        self.reg_usage[tid][regclass][cluster] += 1
+
+    def on_reg_free(self, tid: int, regclass: int, cluster: int) -> None:
+        self.reg_usage[tid][regclass][cluster] -= 1
+        assert self.reg_usage[tid][regclass][cluster] >= 0, "register double-free"
+
+    def total_usage(self, tid: int, regclass: int) -> int:
+        return sum(self.reg_usage[tid][regclass])
+
+
+class CSSPRFPolicy(_RegMeteredCSSP):
+    """Half of each cluster's register file of each kind per thread."""
+
+    name = "cssprf"
+
+    def may_alloc_reg(
+        self, tid: int, regclass: int, cluster: int, needed: int = 1
+    ) -> bool:
+        assert self.proc is not None
+        cap = self.proc.clusters[cluster].regs[regclass].capacity
+        share = max(1, cap // self.proc.config.num_threads)
+        return self.reg_usage[tid][regclass][cluster] + needed <= share
+
+
+class CISPRFPolicy(_RegMeteredCSSP):
+    """Half of the total register file of each kind per thread."""
+
+    name = "cisprf"
+
+    def may_alloc_reg(
+        self, tid: int, regclass: int, cluster: int, needed: int = 1
+    ) -> bool:
+        assert self.proc is not None
+        total = sum(
+            c.regs[regclass].capacity for c in self.proc.clusters
+        )
+        share = max(1, total // self.proc.config.num_threads)
+        return self.total_usage(tid, regclass) + needed <= share

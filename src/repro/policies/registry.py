@@ -1,0 +1,52 @@
+"""Name-based policy construction for the experiment harness and CLI."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.policies.base import ResourcePolicy
+from repro.policies.cdprf import CDPRFPolicy
+from repro.policies.dcra import DCRAPolicy
+from repro.policies.flushplus import FlushPlusPolicy
+from repro.policies.hillclimb import HillClimbPolicy
+from repro.policies.icount import IcountPolicy
+from repro.policies.regfile_static import CISPRFPolicy, CSSPRFPolicy
+from repro.policies.stall import StallPolicy
+from repro.policies.static_partition import (
+    CISPPolicy,
+    CSPSPPolicy,
+    CSSPPolicy,
+    PrivateClustersPolicy,
+)
+
+_FACTORIES: dict[str, Callable[..., ResourcePolicy]] = {
+    "icount": IcountPolicy,
+    "stall": StallPolicy,
+    "flush+": FlushPlusPolicy,
+    "cisp": CISPPolicy,
+    "cssp": CSSPPolicy,
+    "cspsp": CSPSPPolicy,
+    "pc": PrivateClustersPolicy,
+    "cssprf": CSSPRFPolicy,
+    "cisprf": CISPRFPolicy,
+    "cdprf": CDPRFPolicy,
+    # extensions: the paper's "future work" schemes ([30], [32]) adapted
+    # to the clustered machine using its conclusions
+    "dcra": DCRAPolicy,
+    "hillclimb": HillClimbPolicy,
+}
+
+#: All policy names, in the paper's presentation order.
+POLICY_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def make_policy(name: str, **kwargs: object) -> ResourcePolicy:
+    """Instantiate a policy by its paper name (case-insensitive).
+
+    Extra keyword arguments are forwarded to the constructor (e.g.
+    ``make_policy("cdprf", interval=4096)``).
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}")
+    return _FACTORIES[key](**kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,86 @@
+"""Static issue-queue partitioning schemes (Table 3).
+
+* **CISP** — cluster-insensitive static partition: a thread may use at most
+  half of the *total* IQ entries, wherever they are (proposed for clustered
+  SMT in [31]).
+* **CSSP** — cluster-sensitive static partition: at most half of *each
+  cluster's* IQ entries per thread (the paper's winner for the issue queue).
+* **CSPSP** — cluster-sensitive *partial* static partition: only 25% of each
+  cluster's entries are guaranteed per thread; the remaining half of the
+  queue is a shared pool both threads compete for.
+* **PC** — private clusters: thread *i* is bound to cluster *i*; steering is
+  overridden entirely.
+
+All run on top of Icount rename selection and the dependence/balance
+steering of [12], as in the paper's methodology.  Shares generalize to
+``capacity // num_threads`` so single-thread reference runs are unlimited.
+"""
+
+from __future__ import annotations
+
+from repro.policies.icount import IcountPolicy
+
+
+class CISPPolicy(IcountPolicy):
+    """Thread may hold at most 1/N of the total IQ entries, any cluster."""
+
+    name = "cisp"
+
+    def may_dispatch(self, tid: int, cluster: int, needed: int = 1) -> bool:
+        assert self.proc is not None
+        clusters = self.proc.clusters
+        total_cap = sum(c.iq.capacity for c in clusters)
+        used = sum(c.iq.per_thread[tid] for c in clusters)
+        return used + needed <= total_cap // self.proc.config.num_threads
+
+    def may_dispatch_group(self, tid: int, needs: list[int]) -> bool:
+        # the limit is on the total: the whole group counts against it
+        return self.may_dispatch(tid, 0, sum(needs))
+
+
+class CSSPPolicy(IcountPolicy):
+    """Thread may hold at most 1/N of *each cluster's* IQ entries."""
+
+    name = "cssp"
+
+    def may_dispatch(self, tid: int, cluster: int, needed: int = 1) -> bool:
+        assert self.proc is not None
+        iq = self.proc.clusters[cluster].iq
+        return iq.per_thread[tid] + needed <= self._iq_share(iq.capacity)
+
+
+class CSPSPPolicy(IcountPolicy):
+    """1/4 of each cluster's entries guaranteed; the rest is a shared pool."""
+
+    name = "cspsp"
+
+    def may_dispatch(self, tid: int, cluster: int, needed: int = 1) -> bool:
+        assert self.proc is not None
+        iq = self.proc.clusters[cluster].iq
+        num_threads = self.proc.config.num_threads
+        reserved = max(1, iq.capacity // (2 * num_threads))  # 25% for 2 threads
+        if iq.per_thread[tid] + needed <= reserved:
+            return True
+        shared_cap = iq.capacity - reserved * num_threads
+        shared_used = sum(
+            max(0, iq.per_thread[t] - reserved) for t in range(num_threads)
+        )
+        overflow = max(0, iq.per_thread[tid] + needed - reserved) - max(
+            0, iq.per_thread[tid] - reserved
+        )
+        return shared_used + overflow <= shared_cap
+
+
+class PrivateClustersPolicy(IcountPolicy):
+    """Thread *i* executes only in cluster *i* (static binding)."""
+
+    name = "pc"
+
+    def may_dispatch(self, tid: int, cluster: int, needed: int = 1) -> bool:
+        assert self.proc is not None
+        return cluster == tid % self.proc.config.num_clusters
+
+    def forced_cluster(self, tid: int) -> int:
+        """The only cluster ``tid`` may use (steering override)."""
+        assert self.proc is not None
+        return tid % self.proc.config.num_clusters

@@ -1,0 +1,33 @@
+"""Trace substrate: trace format, synthetic generation, benchmark categories.
+
+The paper drives its simulator with 120 proprietary 2-thread x86 traces
+(Table 2).  We substitute a seeded synthetic generator whose per-category
+statistical profiles stress the same mechanisms (memory-boundedness, ILP,
+register-class pressure, branch predictability); see DESIGN.md §2.
+"""
+
+from repro.trace.trace import Trace, TraceStats, TRACE_DTYPE
+from repro.trace.synthesis import TraceProfile, SyntheticProgram, generate_trace
+from repro.trace.categories import (
+    CATEGORIES,
+    CATEGORY_PROFILES,
+    WorkloadType,
+    category_profile,
+)
+from repro.trace.workloads import Workload, WorkloadPool, build_pool
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "TRACE_DTYPE",
+    "TraceProfile",
+    "SyntheticProgram",
+    "generate_trace",
+    "CATEGORIES",
+    "CATEGORY_PROFILES",
+    "WorkloadType",
+    "category_profile",
+    "Workload",
+    "WorkloadPool",
+    "build_pool",
+]

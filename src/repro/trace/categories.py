@@ -1,0 +1,180 @@
+"""Benchmark categories (Table 2 of the paper).
+
+The paper classifies its 120 2-thread traces into 11 categories (digital
+home, SPEC2K int/fp, multimedia, office, productivity, server, workstation,
+miscellanea, ISPEC-FSPEC mixes and cross-category mixes), each with highly
+parallel (ILP), memory-bounded (MEM) and mixed (MIX) workloads.
+
+Each category here is a pair of :class:`~repro.trace.synthesis.TraceProfile`
+templates — one tuned for the ILP variant and one for the MEM variant — whose
+knobs encode what the paper says the category stresses:
+
+* ``ISPEC00``: integer-only, high integer register pressure (the paper's
+  Section 5.2 singles it out as the integer-RF bottleneck category);
+* ``FSPEC00``: FP-dominant, predictable loops;
+* ``ISPEC-FSPEC``: pairs one ISPEC00 trace with one FSPEC00 trace so the
+  threads' register-class demands are nearly disjoint (Figure 9's subject);
+* ``server``: large irregular working sets (TPC), memory-bounded;
+* ``DH``/``multimedia``: SIMD streaming kernels;
+* ``office``/``productivity``: branchy, low-ILP integer code;
+* ``workstation``: mixed FP/int with large data;
+* ``miscellanea``: games and matrix algorithms (SIMD + predictable loops);
+* ``mixes``: random cross-category pairings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+
+from repro.trace.synthesis import TraceProfile
+
+#: L2 capacity in 64-byte lines (4MB / 64B); MEM-variant working sets are
+#: sized as multiples of this so loads spill to memory.
+_L2_LINES = (4 * 1024 * 1024) // 64
+
+
+class WorkloadType(enum.Enum):
+    """Workload classification used in Table 2."""
+
+    ILP = "ilp"
+    MEM = "mem"
+    MIX = "mix"
+
+
+def _ilp(profile: TraceProfile) -> TraceProfile:
+    """Tune a base profile into its highly-parallel variant.
+
+    Low dependence locality (most sources read loop invariants) plus an
+    L1/L2-resident working set gives the bursty >3-uops/cycle supply that
+    makes cluster issue bandwidth — and hence workload balance — matter.
+    """
+    return replace(
+        profile,
+        name=profile.name + "-ilp",
+        working_set_lines=min(profile.working_set_lines, 400),
+        dep_mean_distance=max(profile.dep_mean_distance, 8.0),
+        dep_locality=min(profile.dep_locality, 0.3),
+        load_dep_chain=min(profile.load_dep_chain, 0.05),
+        branch_bias=min(0.97, profile.branch_bias + 0.03),
+    )
+
+
+def _mem(profile: TraceProfile) -> TraceProfile:
+    """Tune a base profile into its memory-bounded variant.
+
+    Working sets several times the L2, pointer-chasing loads and serial
+    dependence structure: long stalls during which the thread's allocated
+    resources starve the co-runner under unpartitioned schemes.
+    """
+    return replace(
+        profile,
+        name=profile.name + "-mem",
+        working_set_lines=max(profile.working_set_lines, 2 * _L2_LINES),
+        dep_mean_distance=min(profile.dep_mean_distance, 4.0),
+        dep_locality=max(profile.dep_locality, 0.5),
+        load_dep_chain=max(profile.load_dep_chain, 0.3),
+        stride_frac=0.5,
+        stride_reuse=8,
+        frac_load=min(0.35, profile.frac_load + 0.06),
+    )
+
+
+_BASES: dict[str, TraceProfile] = {
+    "DH": TraceProfile(
+        name="DH", dep_locality=0.35, frac_load=0.24, frac_store=0.12, frac_branch=0.08,
+        frac_fp=0.55, frac_simd=0.85, dep_mean_distance=8.0,
+        working_set_lines=2048, stride_frac=0.85, branch_bias=0.95,
+        int_regs_used=8, fp_regs_used=12, n_blocks=32,
+    ),
+    "FSPEC00": TraceProfile(
+        name="FSPEC00", dep_locality=0.4, frac_load=0.26, frac_store=0.09, frac_branch=0.06,
+        frac_fp=0.70, frac_simd=0.25, dep_mean_distance=7.0,
+        working_set_lines=8192, stride_frac=0.75, branch_bias=0.96,
+        int_regs_used=6, fp_regs_used=12, n_blocks=48,
+    ),
+    "ISPEC00": TraceProfile(
+        name="ISPEC00", dep_locality=0.5, frac_load=0.24, frac_store=0.11, frac_branch=0.15,
+        frac_fp=0.0, dep_mean_distance=4.5,
+        working_set_lines=4096, stride_frac=0.45, branch_bias=0.90,
+        int_regs_used=12, fp_regs_used=2, n_blocks=96,
+    ),
+    "multimedia": TraceProfile(
+        name="multimedia", dep_locality=0.35, frac_load=0.22, frac_store=0.12, frac_branch=0.09,
+        frac_fp=0.50, frac_simd=0.9, dep_mean_distance=7.5,
+        working_set_lines=3072, stride_frac=0.8, branch_bias=0.94,
+        int_regs_used=9, fp_regs_used=12, n_blocks=40,
+    ),
+    "office": TraceProfile(
+        name="office", dep_locality=0.55, frac_load=0.23, frac_store=0.13, frac_branch=0.18,
+        frac_fp=0.02, dep_mean_distance=3.5,
+        working_set_lines=6144, stride_frac=0.35, branch_bias=0.87,
+        int_regs_used=12, fp_regs_used=3, n_blocks=128,
+    ),
+    "productivity": TraceProfile(
+        name="productivity", dep_locality=0.5, frac_load=0.24, frac_store=0.12, frac_branch=0.16,
+        frac_fp=0.05, dep_mean_distance=4.0,
+        working_set_lines=5120, stride_frac=0.4, branch_bias=0.88,
+        int_regs_used=12, fp_regs_used=4, n_blocks=112,
+    ),
+    "server": TraceProfile(
+        name="server", dep_locality=0.55, frac_load=0.28, frac_store=0.12, frac_branch=0.14,
+        frac_fp=0.02, dep_mean_distance=4.0,
+        working_set_lines=2 * _L2_LINES, stride_frac=0.2, branch_bias=0.86,
+        load_dep_chain=0.3, int_regs_used=12, fp_regs_used=3, n_blocks=144,
+    ),
+    "workstation": TraceProfile(
+        name="workstation", dep_locality=0.45, frac_load=0.25, frac_store=0.10, frac_branch=0.09,
+        frac_fp=0.45, frac_simd=0.35, dep_mean_distance=6.0,
+        working_set_lines=24576, stride_frac=0.65, branch_bias=0.93,
+        int_regs_used=11, fp_regs_used=12, n_blocks=64,
+    ),
+    "miscellanea": TraceProfile(
+        name="miscellanea", dep_locality=0.4, frac_load=0.22, frac_store=0.10, frac_branch=0.11,
+        frac_fp=0.35, frac_simd=0.6, dep_mean_distance=6.5,
+        working_set_lines=4096, stride_frac=0.6, branch_bias=0.92,
+        int_regs_used=11, fp_regs_used=10, n_blocks=72,
+    ),
+}
+
+#: Categories in the paper's reporting order (Table 2 / Figure 2).  The two
+#: pairing categories reuse the SPEC profiles and differ only in how threads
+#: are combined (see :mod:`repro.trace.workloads`).
+CATEGORIES: tuple[str, ...] = (
+    "DH",
+    "FSPEC00",
+    "ISPEC00",
+    "ISPEC-FSPEC",
+    "mixes",
+    "multimedia",
+    "office",
+    "productivity",
+    "server",
+    "miscellanea",
+    "workstation",
+)
+
+#: category -> (ILP profile, MEM profile) for single-profile categories.
+CATEGORY_PROFILES: dict[str, tuple[TraceProfile, TraceProfile]] = {
+    name: (_ilp(base), _mem(base)) for name, base in _BASES.items()
+}
+
+
+def category_profile(category: str, kind: str) -> TraceProfile:
+    """Profile for one *trace* (not workload) of ``category``.
+
+    ``kind`` is ``"ilp"`` or ``"mem"``.  Pairing categories (``ISPEC-FSPEC``,
+    ``mixes``) have no single profile; the workload builder composes them
+    from the base categories.
+    """
+    if category not in CATEGORY_PROFILES:
+        raise KeyError(
+            f"{category!r} is a pairing category or unknown; "
+            f"single-profile categories: {sorted(CATEGORY_PROFILES)}"
+        )
+    ilp, mem = CATEGORY_PROFILES[category]
+    if kind == "ilp":
+        return ilp
+    if kind == "mem":
+        return mem
+    raise ValueError(f"kind must be 'ilp' or 'mem', got {kind!r}")

@@ -1,0 +1,191 @@
+"""Workload pool construction (the 2-thread trace pool of Table 2).
+
+A :class:`Workload` is a named pair of single-thread traces plus its
+category and :class:`~repro.trace.categories.WorkloadType`.  The pool
+builder reproduces Table 2's structure:
+
+* every base category contributes ``n_ilp`` ILP workloads (both traces
+  highly parallel), ``n_mem`` MEM workloads (both memory-bounded) and
+  ``n_mix`` MIX workloads (one of each) — the paper's 3/3/2;
+* ``ISPEC-FSPEC`` pairs one ISPEC00 trace with one FSPEC00 trace of the
+  matching kinds (the register-class-disjoint category of Figure 9);
+* ``mixes`` pairs traces drawn from different random base categories
+  (32 workloads in the paper).
+
+Workload names follow the paper's Figure 9 convention:
+``<type>.<nthreads>.<index>``, e.g. ``mix.2.3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.categories import CATEGORIES, WorkloadType, category_profile
+from repro.trace.synthesis import generate_trace
+from repro.trace.trace import Trace
+
+_BASE_CATEGORIES = tuple(c for c in CATEGORIES if c not in ("ISPEC-FSPEC", "mixes"))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One 2-thread workload: a pair of traces plus identity."""
+
+    name: str
+    category: str
+    wtype: WorkloadType
+    traces: tuple[Trace, ...]
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.traces)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Workload {self.category}/{self.name} x{self.num_threads}>"
+
+
+def _seed_for(category: str, kind: str, index: int, salt: int) -> int:
+    """Stable per-trace seed derived from identity, independent of order."""
+    h = np.uint64(1469598103934665603)
+    for token in (category, kind, str(index), str(salt)):
+        for ch in token.encode():
+            h = np.uint64((int(h) ^ ch) * 1099511628211 % (1 << 64))
+    return int(h % (1 << 31))
+
+
+def _make_trace(category: str, kind: str, index: int, n_uops: int, salt: int) -> Trace:
+    profile = category_profile(category, kind)
+    seed = _seed_for(category, kind, index, salt)
+    return generate_trace(
+        profile,
+        seed=seed,
+        n_uops=n_uops,
+        name=f"{category}.{kind}.{index}.{salt}",
+        category=category,
+        kind=kind,
+    )
+
+
+@dataclass
+class WorkloadPool:
+    """The full pool, indexable by category and type."""
+
+    workloads: list[Workload] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.workloads)
+
+    def __iter__(self):
+        return iter(self.workloads)
+
+    def by_category(self, category: str) -> list[Workload]:
+        """All workloads of one Table 2 category."""
+        return [w for w in self.workloads if w.category == category]
+
+    def by_type(self, wtype: WorkloadType) -> list[Workload]:
+        """All workloads of one type (ILP/MEM/MIX) across categories."""
+        return [w for w in self.workloads if w.wtype == wtype]
+
+    def categories(self) -> list[str]:
+        """Category names in first-appearance (reporting) order."""
+        seen: list[str] = []
+        for w in self.workloads:
+            if w.category not in seen:
+                seen.append(w.category)
+        return seen
+
+    def get(self, category: str, name: str) -> Workload:
+        """Look up one workload by category and paper-style name."""
+        for w in self.workloads:
+            if w.category == category and w.name == name:
+                return w
+        raise KeyError(f"no workload {category}/{name}")
+
+    def summary(self) -> str:
+        """Table 2 style summary: category -> per-type workload counts."""
+        lines = [f"{'Category':<14} {'ILP':>4} {'MEM':>4} {'MIX':>4}"]
+        for cat in self.categories():
+            ws = self.by_category(cat)
+            counts = {
+                t: sum(1 for w in ws if w.wtype == t) for t in WorkloadType
+            }
+            lines.append(
+                f"{cat:<14} {counts[WorkloadType.ILP]:>4} "
+                f"{counts[WorkloadType.MEM]:>4} {counts[WorkloadType.MIX]:>4}"
+            )
+        lines.append(f"total workloads: {len(self.workloads)}")
+        return "\n".join(lines)
+
+
+def _pair_kinds(wtype: WorkloadType) -> tuple[str, str]:
+    if wtype == WorkloadType.ILP:
+        return ("ilp", "ilp")
+    if wtype == WorkloadType.MEM:
+        return ("mem", "mem")
+    return ("ilp", "mem")
+
+
+def build_pool(
+    n_uops: int = 30_000,
+    n_ilp: int = 3,
+    n_mem: int = 3,
+    n_mix: int = 2,
+    n_mixes_category: int = 32,
+    categories: tuple[str, ...] = CATEGORIES,
+    seed: int = 2008,
+) -> WorkloadPool:
+    """Build the Table 2 workload pool.
+
+    ``n_uops`` is the per-thread trace length; the paper's traces are much
+    longer, but scheme-relative behaviour stabilizes within a few tens of
+    thousands of uops (see EXPERIMENTS.md).  Smaller pools for quick runs
+    can be requested by lowering the per-type counts.
+    """
+    rng = np.random.default_rng(seed)
+    pool = WorkloadPool()
+    type_counts = {
+        WorkloadType.ILP: n_ilp,
+        WorkloadType.MEM: n_mem,
+        WorkloadType.MIX: n_mix,
+    }
+
+    for category in categories:
+        if category == "mixes":
+            for i in range(n_mixes_category):
+                cat_a, cat_b = rng.choice(_BASE_CATEGORIES, size=2, replace=False)
+                kind_a = "ilp" if rng.random() < 0.5 else "mem"
+                kind_b = "ilp" if rng.random() < 0.5 else "mem"
+                pool.workloads.append(
+                    Workload(
+                        name=f"mix.2.{i + 1}",
+                        category="mixes",
+                        wtype=WorkloadType.MIX,
+                        traces=(
+                            _make_trace(str(cat_a), kind_a, i, n_uops, salt=11),
+                            _make_trace(str(cat_b), kind_b, i, n_uops, salt=13),
+                        ),
+                    )
+                )
+            continue
+
+        pair_categories = (
+            ("ISPEC00", "FSPEC00") if category == "ISPEC-FSPEC" else (category, category)
+        )
+        for wtype, count in type_counts.items():
+            kinds = _pair_kinds(wtype)
+            for i in range(count):
+                traces = tuple(
+                    _make_trace(pair_categories[t], kinds[t], i, n_uops, salt=t)
+                    for t in range(2)
+                )
+                pool.workloads.append(
+                    Workload(
+                        name=f"{wtype.value}.2.{i + 1}",
+                        category=category,
+                        wtype=wtype,
+                        traces=traces,
+                    )
+                )
+    return pool

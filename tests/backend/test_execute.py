@@ -1,0 +1,95 @@
+"""Issue port and latency tests."""
+
+import pytest
+
+from repro.backend.execute import PORT_CAPS, PortSet, latency_for
+from repro.config import baseline_config
+from repro.isa import UopClass
+from repro.isa.uops import PORT_FP, PORT_INT, PORT_MEM
+
+
+def test_port_caps_match_table1():
+    # port0/1: int+fp+simd; port2: int+mem
+    assert PORT_CAPS[0] == {PORT_INT, PORT_FP}
+    assert PORT_CAPS[1] == {PORT_INT, PORT_FP}
+    assert PORT_CAPS[2] == {PORT_INT, PORT_MEM}
+    assert len(PORT_CAPS) == baseline_config().cluster.num_ports
+
+
+class TestPortSet:
+    def test_three_int_per_cycle(self):
+        ps = PortSet()
+        ps.new_cycle()
+        assert ps.try_claim(PORT_INT)
+        assert ps.try_claim(PORT_INT)
+        assert ps.try_claim(PORT_INT)
+        assert not ps.try_claim(PORT_INT)
+
+    def test_two_fp_per_cycle(self):
+        ps = PortSet()
+        ps.new_cycle()
+        assert ps.try_claim(PORT_FP)
+        assert ps.try_claim(PORT_FP)
+        assert not ps.try_claim(PORT_FP)
+
+    def test_one_mem_per_cycle(self):
+        ps = PortSet()
+        ps.new_cycle()
+        assert ps.try_claim(PORT_MEM)
+        assert not ps.try_claim(PORT_MEM)
+
+    def test_int_prefers_non_mem_ports(self):
+        ps = PortSet()
+        ps.new_cycle()
+        ps.try_claim(PORT_INT)
+        ps.try_claim(PORT_INT)
+        # ports 0/1 busy; mem port still free for a load
+        assert ps.has_free(PORT_MEM)
+        assert ps.try_claim(PORT_MEM)
+
+    def test_int_spills_to_mem_port(self):
+        ps = PortSet()
+        ps.new_cycle()
+        ps.try_claim(PORT_FP)
+        ps.try_claim(PORT_FP)
+        assert ps.try_claim(PORT_INT)  # takes port 2
+        assert not ps.has_free(PORT_MEM)
+
+    def test_mix_capacity(self):
+        ps = PortSet()
+        ps.new_cycle()
+        assert ps.try_claim(PORT_FP)
+        assert ps.try_claim(PORT_INT)
+        assert ps.try_claim(PORT_MEM)
+        assert ps.free_count() == 0
+
+    def test_new_cycle_resets(self):
+        ps = PortSet()
+        ps.new_cycle()
+        for _ in range(3):
+            ps.try_claim(PORT_INT)
+        ps.new_cycle()
+        assert ps.free_count() == 3
+
+    def test_has_free_is_pure(self):
+        ps = PortSet()
+        ps.new_cycle()
+        assert ps.has_free(PORT_FP)
+        assert ps.has_free(PORT_FP)
+        assert ps.free_count() == 3
+
+
+class TestLatency:
+    def test_latencies_positive_and_ordered(self):
+        cfg = baseline_config()
+        lat = {c: latency_for(cfg, c) for c in UopClass}
+        assert all(v >= 1 for v in lat.values())
+        assert lat[UopClass.INT_ALU] <= lat[UopClass.INT_MUL]
+        assert lat[UopClass.INT_ALU] <= lat[UopClass.FP]
+        assert lat[UopClass.BRANCH] == cfg.branch_latency
+        assert lat[UopClass.COPY] == cfg.copy_latency
+
+    def test_load_latency_is_agu_only(self):
+        cfg = baseline_config()
+        # cache latency is added by the memory model, not here
+        assert latency_for(cfg, UopClass.LOAD) == cfg.agu_latency

@@ -1,0 +1,82 @@
+"""Inter-cluster link tests."""
+
+from repro.backend.interconnect import Interconnect
+from repro.isa import Uop, UopClass
+
+
+def _copy(age=0):
+    u = Uop(0, UopClass.COPY)
+    u.age = age
+    return u
+
+
+def test_basic_transfer_latency():
+    icn = Interconnect(num_links=2, latency=1)
+    c = _copy()
+    icn.request(c)
+    assert icn.tick(10) == []   # launched at 10, arrives at 11
+    assert icn.tick(11) == [c]
+    assert icn.transfers == 1
+
+
+def test_bandwidth_limit_queues_excess():
+    icn = Interconnect(num_links=2, latency=1)
+    copies = [_copy(i) for i in range(5)]
+    for c in copies:
+        icn.request(c)
+    icn.tick(0)  # launches 2
+    arrived = icn.tick(1)  # launches 2 more, delivers first 2
+    assert len(arrived) == 2
+    arrived = icn.tick(2)
+    assert len(arrived) == 2
+    arrived = icn.tick(3)
+    assert len(arrived) == 1
+    assert icn.transfers == 5
+
+
+def test_queue_wait_accounting():
+    icn = Interconnect(num_links=1, latency=1)
+    for i in range(3):
+        icn.request(_copy(i))
+    icn.tick(0)  # 1 launched, 2 waiting
+    assert icn.queue_wait_cycles == 2
+
+
+def test_squashed_copies_not_delivered():
+    icn = Interconnect(num_links=2, latency=2)
+    c = _copy()
+    icn.request(c)
+    icn.tick(0)
+    c.squashed = True
+    assert icn.tick(2) == []
+
+
+def test_squashed_copies_not_launched():
+    icn = Interconnect(num_links=2, latency=1)
+    c = _copy()
+    c.squashed = True
+    icn.request(c)
+    icn.tick(0)
+    assert icn.transfers == 0
+    assert icn.tick(1) == []
+
+
+def test_longer_latency():
+    icn = Interconnect(num_links=1, latency=4)
+    c = _copy()
+    icn.request(c)
+    icn.tick(100)
+    for cyc in range(101, 104):
+        assert icn.tick(cyc) == []
+    assert icn.tick(104) == [c]
+
+
+def test_pending_count():
+    icn = Interconnect(num_links=1, latency=1)
+    icn.request(_copy(0))
+    icn.request(_copy(1))
+    assert icn.pending_count() == 2
+    icn.tick(0)
+    assert icn.pending_count() == 2  # one in flight, one queued
+    icn.tick(1)
+    assert icn.pending_count() == 1

@@ -1,0 +1,133 @@
+"""Issue queue tests."""
+
+import pytest
+
+from repro.backend.issue import IssueQueue
+from repro.isa import Uop, UopClass
+
+
+def _uop(age, tid=0, wait=0):
+    u = Uop(tid, UopClass.INT_ALU)
+    u.age = age
+    u.wait_count = wait
+    u.cluster = 0
+    return u
+
+
+def _iq(cap=4, threads=2):
+    return IssueQueue(0, cap, threads)
+
+
+def test_dispatch_occupancy():
+    iq = _iq()
+    iq.dispatch(_uop(1, tid=0))
+    iq.dispatch(_uop(2, tid=1))
+    assert iq.occupancy == 2
+    assert iq.per_thread == [1, 1]
+    assert iq.free_entries == 2
+
+
+def test_overflow_raises():
+    iq = _iq(cap=1)
+    iq.dispatch(_uop(1))
+    assert iq.is_full()
+    with pytest.raises(RuntimeError, match="overflow"):
+        iq.dispatch(_uop(2))
+
+
+def test_ready_uops_selected_oldest_first():
+    iq = _iq(cap=8)
+    for age in (5, 3, 9, 1):
+        iq.dispatch(_uop(age))
+    issued, passed = iq.select(8, lambda u: True)
+    assert [u.age for u in issued] == [1, 3, 5, 9]
+    assert passed == []
+
+
+def test_not_ready_not_selected():
+    iq = _iq()
+    ready = _uop(1)
+    waiting = _uop(2, wait=1)
+    iq.dispatch(ready)
+    iq.dispatch(waiting)
+    issued, _ = iq.select(8, lambda u: True)
+    assert issued == [ready]
+
+
+def test_wake_promotes_to_ready():
+    iq = _iq()
+    waiting = _uop(2, wait=1)
+    iq.dispatch(waiting)
+    waiting.wait_count = 0
+    iq.wake(waiting)
+    issued, _ = iq.select(8, lambda u: True)
+    assert issued == [waiting]
+
+
+def test_wake_ignores_still_waiting():
+    iq = _iq()
+    waiting = _uop(2, wait=2)
+    iq.dispatch(waiting)
+    waiting.wait_count = 1
+    iq.wake(waiting)
+    issued, _ = iq.select(8, lambda u: True)
+    assert issued == []
+
+
+def test_port_rejection_passes_over():
+    iq = _iq(cap=8)
+    for age in (1, 2, 3):
+        iq.dispatch(_uop(age))
+    # only one port available
+    slots = [True]
+    issued, passed = iq.select(8, lambda u: slots.pop() if slots else False)
+    assert [u.age for u in issued] == [1]
+    assert sorted(u.age for u in passed) == [2, 3]
+    # passed-over uops stay selectable next cycle
+    issued2, _ = iq.select(8, lambda u: True)
+    assert [u.age for u in issued2] == [2, 3]
+
+
+def test_squashed_lazily_dropped():
+    iq = _iq()
+    u = _uop(1)
+    iq.dispatch(u)
+    u.squashed = True
+    iq.release(u)  # squash path releases the entry
+    issued, passed = iq.select(8, lambda u: True)
+    assert issued == [] and passed == []
+
+
+def test_release_underflow_raises():
+    iq = _iq()
+    u = _uop(1)
+    iq.dispatch(u)
+    iq.release(u)
+    with pytest.raises(RuntimeError, match="underflow"):
+        iq.release(u)
+
+
+def test_max_scan_limits_depth():
+    iq = _iq(cap=8)
+    for age in (1, 2, 3, 4):
+        iq.dispatch(_uop(age))
+    issued, passed = iq.select(2, lambda u: True)
+    assert len(issued) == 2  # only scanned two entries
+
+
+def test_peak_tracking():
+    iq = _iq(cap=4)
+    uops = [_uop(a) for a in range(3)]
+    for u in uops:
+        iq.dispatch(u)
+    for u in uops:
+        u.issued = True
+        iq.release(u)
+    assert iq.peak == 3 and iq.occupancy == 0
+
+
+def test_ready_uops_iterator():
+    iq = _iq(cap=8)
+    iq.dispatch(_uop(1))
+    iq.dispatch(_uop(2, wait=1))
+    assert sorted(u.age for u in iq.ready_uops()) == [1]

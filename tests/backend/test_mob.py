@@ -1,0 +1,95 @@
+"""Memory order buffer tests."""
+
+import pytest
+
+from repro.backend.mob import MemoryOrderBuffer
+from repro.isa import Uop, UopClass
+
+
+def _load(tid=0, line=10):
+    return Uop(tid, UopClass.LOAD, dest=1, src1=0, mem_line=line)
+
+
+def _store(tid=0, line=10):
+    return Uop(tid, UopClass.STORE, src1=0, src2=1, mem_line=line)
+
+
+def test_alloc_release():
+    mob = MemoryOrderBuffer(4, 2)
+    u = _load()
+    mob.alloc(u)
+    assert mob.occupancy == 1 and mob.per_thread == [1, 0]
+    mob.release(u)
+    assert mob.occupancy == 0
+    mob.release(u)  # idempotent after release
+    assert mob.occupancy == 0
+
+
+def test_capacity():
+    mob = MemoryOrderBuffer(2, 1)
+    mob.alloc(_load())
+    mob.alloc(_load())
+    assert not mob.can_alloc()
+    with pytest.raises(RuntimeError, match="overflow"):
+        mob.alloc(_load())
+
+
+def test_forwarding_from_executed_store():
+    mob = MemoryOrderBuffer(8, 2)
+    st = _store(tid=0, line=42)
+    ld = _load(tid=0, line=42)
+    mob.alloc(st)
+    mob.alloc(ld)
+    assert not mob.can_forward(ld)  # store not executed yet
+    mob.store_executed(st)
+    assert mob.can_forward(ld)
+
+
+def test_no_cross_thread_forwarding():
+    mob = MemoryOrderBuffer(8, 2)
+    st = _store(tid=0, line=42)
+    mob.alloc(st)
+    mob.store_executed(st)
+    assert not mob.can_forward(_load(tid=1, line=42))
+
+
+def test_forwarding_ends_at_store_release():
+    mob = MemoryOrderBuffer(8, 2)
+    st = _store(line=42)
+    mob.alloc(st)
+    mob.store_executed(st)
+    mob.release(st)  # commit
+    assert not mob.can_forward(_load(line=42))
+
+
+def test_multiple_stores_same_line():
+    mob = MemoryOrderBuffer(8, 2)
+    st1, st2 = _store(line=7), _store(line=7)
+    mob.alloc(st1)
+    mob.alloc(st2)
+    mob.store_executed(st1)
+    mob.store_executed(st2)
+    mob.release(st1)
+    assert mob.can_forward(_load(line=7))  # st2 still in flight
+    mob.release(st2)
+    assert not mob.can_forward(_load(line=7))
+
+
+def test_release_unexecuted_store_does_not_underflow_lines():
+    mob = MemoryOrderBuffer(8, 2)
+    st1, st2 = _store(line=9), _store(line=9)
+    mob.alloc(st1)
+    mob.alloc(st2)
+    mob.store_executed(st1)
+    mob.release(st2)  # squashed before executing
+    assert mob.can_forward(_load(line=9))  # st1's record intact
+
+
+def test_peak():
+    mob = MemoryOrderBuffer(8, 1)
+    uops = [_load() for _ in range(5)]
+    for u in uops:
+        mob.alloc(u)
+    for u in uops:
+        mob.release(u)
+    assert mob.peak == 5

@@ -1,0 +1,111 @@
+"""Physical register file tests."""
+
+import pytest
+
+from repro.backend.regfile import READY_EVERYWHERE, PhysRegFile, RegFileSet
+from repro.isa import RegClass, Uop, UopClass
+
+
+def _file(cap=8, unbounded=False):
+    return PhysRegFile(0, RegClass.INT, cap, unbounded)
+
+
+def test_alloc_free_cycle():
+    f = _file(4)
+    regs = [f.alloc() for _ in range(4)]
+    assert len(set(regs)) == 4
+    assert f.in_use == 4 and f.free_count == 0
+    assert not f.can_alloc()
+    for r in regs:
+        f.free(r)
+    assert f.in_use == 0 and f.free_count == 4
+
+
+def test_exhaustion_raises():
+    f = _file(2)
+    f.alloc()
+    f.alloc()
+    with pytest.raises(RuntimeError, match="exhausted"):
+        f.alloc()
+
+
+def test_unbounded_grows():
+    f = _file(2, unbounded=True)
+    regs = [f.alloc() for _ in range(10)]
+    assert len(set(regs)) == 10
+    assert f.capacity >= 10
+
+
+def test_ready_lifecycle():
+    f = _file()
+    p = f.alloc()
+    assert not f.is_ready(p)
+    f.set_ready(p)
+    assert f.is_ready(p)
+    f.free(p)
+    p2 = f.alloc()
+    if p2 == p:
+        assert not f.is_ready(p2)  # readiness cleared on reuse
+
+
+def test_waiters_woken_once():
+    f = _file()
+    p = f.alloc()
+    u = Uop(0, UopClass.INT_ALU)
+    u.wait_count = 1
+    f.add_waiter(p, u)
+    woken = f.set_ready(p)
+    assert woken == [u]
+    assert f.set_ready(p) == []  # waiter list cleared
+
+
+def test_duplicate_waiter_registrations_both_returned():
+    f = _file()
+    p = f.alloc()
+    u = Uop(0, UopClass.INT_ALU)
+    f.add_waiter(p, u)
+    f.add_waiter(p, u)
+    assert f.set_ready(p) == [u, u]
+
+
+def test_drop_waiter():
+    f = _file()
+    p = f.alloc()
+    u = Uop(0, UopClass.INT_ALU)
+    f.add_waiter(p, u)
+    f.drop_waiter(p, u)
+    assert f.set_ready(p) == []
+    f.drop_waiter(p, u)  # idempotent
+
+
+def test_free_with_live_waiters_raises():
+    f = _file()
+    p = f.alloc()
+    f.add_waiter(p, Uop(0, UopClass.INT_ALU))
+    with pytest.raises(RuntimeError, match="waiters"):
+        f.free(p)
+
+
+def test_peak_tracking():
+    f = _file(8)
+    a = f.alloc()
+    b = f.alloc()
+    f.free(a)
+    f.free(b)
+    assert f.peak_in_use == 2
+    assert f.alloc_count == 2
+
+
+def test_regfileset_indexing():
+    s = RegFileSet(1, int_regs=8, fp_regs=4)
+    assert s[RegClass.INT].capacity == 8
+    assert s[RegClass.FP].capacity == 4
+    assert s[0] is s[RegClass.INT]
+    s[0].alloc()
+    s[1].alloc()
+    assert s.total_in_use() == 2
+
+
+def test_ready_everywhere_sentinel_is_negative():
+    # distinguishes "static value" from any real physical index
+    assert READY_EVERYWHERE < 0

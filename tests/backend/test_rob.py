@@ -1,0 +1,75 @@
+"""Reorder buffer tests."""
+
+import pytest
+
+from repro.backend.rob import ReorderBuffer
+from repro.isa import Uop, UopClass
+
+
+def _uop(age):
+    u = Uop(0, UopClass.INT_ALU)
+    u.age = age
+    return u
+
+
+def test_fifo_order():
+    rob = ReorderBuffer(4)
+    a, b = _uop(1), _uop(2)
+    rob.push(a)
+    rob.push(b)
+    assert rob.head() is a
+    assert rob.pop_head() is a
+    assert rob.head() is b
+
+
+def test_capacity():
+    rob = ReorderBuffer(2)
+    rob.push(_uop(1))
+    rob.push(_uop(2))
+    assert not rob.can_alloc()
+    assert rob.free_entries == 0
+    with pytest.raises(RuntimeError, match="overflow"):
+        rob.push(_uop(3))
+
+
+def test_unbounded():
+    rob = ReorderBuffer(2, unbounded=True)
+    for age in range(10):
+        rob.push(_uop(age))
+    assert len(rob) == 10
+
+
+def test_squash_younger_than():
+    rob = ReorderBuffer(8)
+    uops = [_uop(a) for a in (1, 2, 5, 9)]
+    for u in uops:
+        rob.push(u)
+    squashed = rob.squash_younger_than(2)
+    assert [u.age for u in squashed] == [9, 5]  # youngest first
+    assert len(rob) == 2
+    assert rob.head().age == 1
+
+
+def test_squash_nothing():
+    rob = ReorderBuffer(8)
+    rob.push(_uop(1))
+    assert rob.squash_younger_than(5) == []
+
+
+def test_clear():
+    rob = ReorderBuffer(8)
+    for a in (1, 2, 3):
+        rob.push(_uop(a))
+    drained = rob.clear()
+    assert [u.age for u in drained] == [3, 2, 1]
+    assert len(rob) == 0
+    assert rob.head() is None
+
+
+def test_peak():
+    rob = ReorderBuffer(8)
+    for a in range(5):
+        rob.push(_uop(a))
+    for _ in range(5):
+        rob.pop_head()
+    assert rob.peak == 5

@@ -1,0 +1,99 @@
+"""Shared fixtures: small traces, configs and helper builders.
+
+Traces here are deliberately tiny (1-4k uops) so the whole unit suite runs
+in seconds; benchmark-scale runs live under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import baseline_config
+from repro.trace.synthesis import TraceProfile, generate_trace
+
+# A compact, fast default machine for tests: the Table 1 baseline.
+@pytest.fixture(scope="session")
+def config():
+    return baseline_config()
+
+
+@pytest.fixture(scope="session")
+def unbounded_config():
+    """Figure 2's setup: unbounded registers and ROB."""
+    return baseline_config(unbounded_regs=True, unbounded_rob=True)
+
+
+@pytest.fixture(scope="session")
+def ilp_profile():
+    return TraceProfile(
+        name="test-ilp",
+        frac_load=0.2,
+        frac_store=0.08,
+        frac_branch=0.08,
+        dep_mean_distance=9.0,
+        dep_locality=0.3,
+        working_set_lines=200,
+        stride_frac=0.7,
+        branch_bias=0.95,
+        int_regs_used=10,
+        fp_regs_used=10,
+        n_blocks=24,
+    )
+
+
+@pytest.fixture(scope="session")
+def mem_profile():
+    return TraceProfile(
+        name="test-mem",
+        frac_load=0.3,
+        frac_store=0.1,
+        frac_branch=0.1,
+        dep_mean_distance=4.0,
+        dep_locality=0.55,
+        working_set_lines=150_000,
+        stride_frac=0.4,
+        load_dep_chain=0.3,
+        branch_bias=0.9,
+        int_regs_used=12,
+        fp_regs_used=4,
+        n_blocks=48,
+    )
+
+
+@pytest.fixture(scope="session")
+def fp_profile():
+    return TraceProfile(
+        name="test-fp",
+        frac_load=0.22,
+        frac_store=0.08,
+        frac_branch=0.07,
+        frac_fp=0.65,
+        dep_mean_distance=8.0,
+        dep_locality=0.35,
+        working_set_lines=300,
+        stride_frac=0.8,
+        branch_bias=0.96,
+        int_regs_used=6,
+        fp_regs_used=12,
+        n_blocks=24,
+    )
+
+
+@pytest.fixture(scope="session")
+def ilp_trace(ilp_profile):
+    return generate_trace(ilp_profile, seed=11, n_uops=3000, kind="ilp")
+
+
+@pytest.fixture(scope="session")
+def ilp_trace_b(ilp_profile):
+    return generate_trace(ilp_profile, seed=23, n_uops=3000, kind="ilp")
+
+
+@pytest.fixture(scope="session")
+def mem_trace(mem_profile):
+    return generate_trace(mem_profile, seed=17, n_uops=3000, kind="mem")
+
+
+@pytest.fixture(scope="session")
+def fp_trace(fp_profile):
+    return generate_trace(fp_profile, seed=19, n_uops=3000, kind="ilp")

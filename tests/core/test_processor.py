@@ -1,0 +1,225 @@
+"""Pipeline integration and invariant tests.
+
+These drive the whole processor on small traces and check architectural
+bookkeeping invariants: no register leaks, exact in-order commit, squash
+exactness, stable behaviour across policies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import baseline_config
+from repro.core.processor import DeadlockError, Processor
+from repro.isa import NO_REG, UopClass
+from repro.policies import POLICY_NAMES, make_policy
+from repro.trace.trace import TRACE_DTYPE, Trace
+
+
+def _run(proc, max_cycles=200_000):
+    while not proc.all_done() and proc.cycle < max_cycles:
+        proc.step()
+    assert proc.all_done(), "simulation did not finish"
+    return proc
+
+
+def _manual_trace(rows, name="manual"):
+    rec = np.zeros(len(rows), dtype=TRACE_DTYPE)
+    for i, row in enumerate(rows):
+        rec[i]["opclass"] = int(row.get("op", UopClass.INT_ALU))
+        rec[i]["dest"] = row.get("dest", NO_REG)
+        rec[i]["src1"] = row.get("src1", NO_REG)
+        rec[i]["src2"] = row.get("src2", NO_REG)
+        rec[i]["pc"] = row.get("pc", i)
+        rec[i]["taken"] = row.get("taken", False)
+        rec[i]["mem_line"] = row.get("line", 0)
+    return Trace(rec, name=name)
+
+
+class TestEndToEnd:
+    def test_two_threads_commit_everything(self, config, ilp_trace, fp_trace):
+        proc = Processor(config, make_policy("icount"), [ilp_trace, fp_trace])
+        _run(proc)
+        assert proc.threads[0].committed == len(ilp_trace)
+        assert proc.threads[1].committed == len(fp_trace)
+        assert proc.stats.committed == len(ilp_trace) + len(fp_trace)
+
+    def test_single_thread_runs(self, config, ilp_trace):
+        proc = Processor(config.with_threads(1), make_policy("icount"), [ilp_trace])
+        _run(proc)
+        assert proc.threads[0].committed == len(ilp_trace)
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    def test_all_policies_complete(self, config, ilp_trace, mem_trace, policy):
+        proc = Processor(config, make_policy(policy), [ilp_trace, mem_trace])
+        _run(proc)
+        assert proc.threads[0].committed == len(ilp_trace)
+        assert proc.threads[1].committed == len(mem_trace)
+
+    def test_deterministic_across_runs(self, config, ilp_trace, mem_trace):
+        def run_once():
+            proc = Processor(config, make_policy("cssp"), [ilp_trace, mem_trace])
+            _run(proc)
+            return proc.cycle, proc.stats.committed, proc.stats.copies_arrived
+
+        assert run_once() == run_once()
+
+    def test_trace_count_must_match(self, config, ilp_trace):
+        with pytest.raises(ValueError, match="threads"):
+            Processor(config, make_policy("icount"), [ilp_trace])
+
+
+class TestInvariants:
+    def _finished_proc(self, config, traces, policy="icount"):
+        proc = Processor(config, make_policy(policy), traces)
+        return _run(proc)
+
+    @pytest.mark.parametrize("policy", ["icount", "flush+", "cssp", "cdprf", "pc"])
+    def test_no_register_leaks(self, config, ilp_trace, mem_trace, policy):
+        """At end of run, registers in use == live architectural mappings."""
+        proc = self._finished_proc(config, [ilp_trace, mem_trace], policy)
+        expected = [[0, 0], [0, 0]]  # [cluster][class]
+        for t in proc.threads:
+            for _arch, m in t.rename_table.live_mappings():
+                k = 0 if _arch < 16 else 1
+                expected[m.cluster][k] += 1
+                if m.replica != NO_REG:
+                    expected[1 - m.cluster][k] += 1
+        for c, cl in enumerate(proc.clusters):
+            for k in (0, 1):
+                assert cl.regs[k].in_use == expected[c][k], (
+                    f"cluster {c} class {k}: {cl.regs[k].in_use} in use, "
+                    f"{expected[c][k]} live mappings"
+                )
+
+    @pytest.mark.parametrize("policy", ["icount", "flush+", "cssp"])
+    def test_structures_drain(self, config, ilp_trace, mem_trace, policy):
+        proc = self._finished_proc(config, [ilp_trace, mem_trace], policy)
+        for cl in proc.clusters:
+            assert cl.iq.occupancy == 0
+            assert cl.iq.per_thread == [0, 0]
+        assert proc.mob.occupancy == 0
+        for t in proc.threads:
+            assert len(t.rob) == 0
+            assert not t.inflight
+            assert t.icount == 0
+
+    def test_committed_matches_trace_lengths(self, config, ilp_trace, ilp_trace_b):
+        proc = self._finished_proc(config, [ilp_trace, ilp_trace_b])
+        assert proc.stats.committed_per_thread == [
+            len(ilp_trace),
+            len(ilp_trace_b),
+        ]
+
+    def test_wrong_path_never_commits(self, config, ilp_trace, mem_trace):
+        proc = Processor(config, make_policy("icount"), [ilp_trace, mem_trace])
+        committed_wrong = 0
+        orig = proc._commit_uop
+
+        def spy(thread, uop):
+            nonlocal committed_wrong
+            if uop.wrong_path:
+                committed_wrong += 1
+            orig(thread, uop)
+
+        proc._commit_uop = spy
+        _run(proc)
+        assert committed_wrong == 0
+        assert proc.stats.wrong_path_fetched > 0  # speculation did happen
+
+    def test_copies_happen_and_are_counted(self, config, ilp_trace, fp_trace):
+        proc = self._finished_proc(config, [ilp_trace, fp_trace])
+        assert proc.stats.copies_renamed > 0
+        assert proc.stats.copies_arrived > 0
+        assert proc.stats.copies_arrived <= proc.stats.copies_renamed
+
+    def test_icount_counter_is_consistent(self, config, ilp_trace, mem_trace):
+        proc = Processor(config, make_policy("icount"), [ilp_trace, mem_trace])
+        for _ in range(3000):
+            proc.step()
+            for t in proc.threads:
+                live = sum(
+                    1 for u in t.inflight if not u.issued and not u.squashed
+                )
+                assert live == t.icount, f"cycle {proc.cycle} thread {t.tid}"
+            if proc.all_done():
+                break
+
+
+class TestPipelineSemantics:
+    def test_dependent_chain_serializes(self, config):
+        # r1 <- r0; r2 <- r1; ... each must wait for the previous
+        rows = [{"dest": 1, "src1": 0}]
+        for i in range(1, 40):
+            rows.append({"dest": (i % 10) + 1, "src1": ((i - 1) % 10) + 1})
+        trace = _manual_trace(rows)
+        proc = Processor(config.with_threads(1), make_policy("icount"), [trace])
+        _run(proc)
+        assert proc.cycle >= 40  # at least one cycle per chain link
+
+    def test_independent_uops_reach_high_ipc(self, config):
+        # a loop of independent uops (repeating PCs keep the TC warm after
+        # the first iteration): pure machine-width test
+        rows = [
+            {"dest": (i % 10) + 1, "src1": 12, "src2": 13, "pc": i % 60}
+            for i in range(1200)
+        ]
+        trace = _manual_trace(rows)
+        proc = Processor(config.with_threads(1), make_policy("icount"), [trace])
+        _run(proc)
+        ipc = proc.stats.committed / proc.stats.cycles
+        assert ipc > 3.0
+
+    def test_load_latency_visible(self, config):
+        # a load to a cold line followed by a long dependent chain
+        rows = [{"op": UopClass.LOAD, "dest": 1, "src1": 0, "line": 12345}]
+        rows += [{"dest": 2, "src1": 1}, {"dest": 3, "src1": 2}]
+        trace = _manual_trace(rows)
+        proc = Processor(config.with_threads(1), make_policy("icount"), [trace])
+        _run(proc)
+        # cold DTLB + L1 + L2 + memory is ~100 cycles
+        assert proc.cycle > 80
+
+    def test_store_load_forwarding_fast_path(self, config):
+        rows = [
+            {"op": UopClass.STORE, "src1": 0, "src2": 1, "line": 7},
+            {"op": UopClass.LOAD, "dest": 2, "src1": 0, "line": 7},
+        ]
+        trace = _manual_trace(rows)
+        proc = Processor(config.with_threads(1), make_policy("icount"), [trace])
+        _run(proc)
+        assert proc.mob.forwards == 1
+        # cold-start overheads only (TC miss, DTLB walk for the store) —
+        # no 60-cycle memory round trip for the load itself
+        assert proc.cycle < 70
+
+    def test_branch_mispredict_costs_redirect(self, config):
+        # one never-taken branch trained taken: guaranteed early mispredicts
+        rows = []
+        for i in range(30):
+            rows.append({"dest": 1, "src1": 0, "pc": i * 2})
+            rows.append(
+                {"op": UopClass.BRANCH, "src1": 1, "pc": i * 2 + 1, "taken": i % 2 == 0}
+            )
+        trace = _manual_trace(rows)
+        proc = Processor(config.with_threads(1), make_policy("icount"), [trace])
+        _run(proc)
+        assert proc.stats.mispredicts > 0
+        assert proc.stats.squashed_uops >= 0
+
+
+class TestFlushMachinery:
+    def test_flush_thread_rewinds_and_refetches(self, config, mem_trace, ilp_trace):
+        proc = Processor(config, make_policy("flush+"), [mem_trace, ilp_trace])
+        _run(proc)
+        # flushes happened and everything still committed exactly once
+        assert proc.stats.flushes > 0
+        assert proc.threads[0].committed == len(mem_trace)
+        assert proc.threads[1].committed == len(ilp_trace)
+
+    def test_watchdog_detects_stuck_pipeline(self, config, ilp_trace, fp_trace):
+        proc = Processor(config, make_policy("icount"), [ilp_trace, fp_trace])
+        # simulate a wedge: block commit forever by gating both threads' rename
+        # and emptying nothing — easiest is to exhaust the trace then lie
+        proc._last_commit_cycle = -10**9
+        with pytest.raises(DeadlockError):
+            proc.step()

@@ -1,0 +1,68 @@
+"""Thread context tests."""
+
+from repro.backend.rob import ReorderBuffer
+from repro.core.smt import ThreadContext
+from repro.isa import Uop, UopClass
+
+
+def _ctx(trace):
+    t = ThreadContext(0, trace)
+    t.rob = ReorderBuffer(8)
+    return t
+
+
+def test_initial_state(ilp_trace):
+    t = _ctx(ilp_trace)
+    assert t.cursor == 0
+    assert not t.trace_exhausted
+    assert not t.finished
+    assert t.icount == 0
+
+
+def test_can_fetch_conditions(ilp_trace):
+    t = _ctx(ilp_trace)
+    assert t.can_fetch(cycle=0, queue_capacity=4)
+    t.fetch_blocked_until = 10
+    assert not t.can_fetch(cycle=5, queue_capacity=4)
+    assert t.can_fetch(cycle=10, queue_capacity=4)
+    t.flushed = True
+    assert not t.can_fetch(cycle=10, queue_capacity=4)
+    t.flushed = False
+    for _ in range(4):
+        t.fetch_queue.append(Uop(0, UopClass.INT_ALU))
+    assert not t.can_fetch(cycle=10, queue_capacity=4)  # queue full
+
+
+def test_can_fetch_wrong_path_past_trace_end(ilp_trace):
+    t = _ctx(ilp_trace)
+    t.cursor = len(ilp_trace)
+    assert not t.can_fetch(cycle=0, queue_capacity=4)
+    t.wrong_path = True
+    assert t.can_fetch(cycle=0, queue_capacity=4)
+
+
+def test_can_rename_conditions(ilp_trace):
+    t = _ctx(ilp_trace)
+    assert not t.can_rename(0)  # empty queue
+    t.fetch_queue.append(Uop(0, UopClass.INT_ALU))
+    assert t.can_rename(0)
+    t.gated = True
+    assert not t.can_rename(0)
+    t.gated = False
+    t.flushed = True
+    assert not t.can_rename(0)
+    t.flushed = False
+    t.rename_blocked_until = 5
+    assert not t.can_rename(4)
+    assert t.can_rename(5)
+
+
+def test_finished_requires_everything_drained(ilp_trace):
+    t = _ctx(ilp_trace)
+    t.cursor = len(ilp_trace)
+    assert t.finished
+    t.inflight.append(Uop(0, UopClass.INT_ALU))
+    assert not t.finished
+    t.inflight.clear()
+    t.wrong_path = True
+    assert not t.finished

@@ -1,0 +1,54 @@
+"""CLI tests (fast paths only; figure regeneration is covered by benchmarks)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_config_prints_table1(capsys):
+    assert main(["config"]) == 0
+    out = capsys.readouterr().out
+    assert "Fetch width" in out
+    assert "Issue queue size per cluster" in out
+    assert "Point to point links" in out
+
+
+def test_pool_summary(capsys):
+    assert main(["pool", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "ISPEC-FSPEC" in out and "total workloads" in out
+
+
+def test_run_text_output(capsys):
+    code = main(
+        ["run", "--policy", "cssp", "--category", "DH", "--scale", "smoke"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out and "cssp" in out
+
+
+def test_run_json_output(capsys):
+    code = main(
+        ["run", "--policy", "icount", "--category", "DH", "--scale", "smoke",
+         "--json"]
+    )
+    assert code == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "imbalance_breakdown" in data
+
+
+def test_run_unknown_category(capsys):
+    assert main(["run", "--category", "nope", "--scale", "smoke"]) == 1
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--policy", "bogus"])
+
+
+def test_figure_requires_known_name():
+    with pytest.raises(SystemExit):
+        main(["figure", "42"])

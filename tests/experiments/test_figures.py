@@ -1,0 +1,88 @@
+"""Figure-reproduction machinery tests on a miniature pool.
+
+The full reproductions live in benchmarks/; these tests exercise the same
+code paths at toy scale (two categories, 1.2k-uop traces) to keep the
+figure plumbing — normalization, row/column structure, AVG rows, caching —
+under unit-test protection.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.figures import (
+    IQ_SCHEMES,
+    figure2_iq_throughput,
+    figure3_copies,
+    figure4_iq_stalls,
+    figure5_imbalance,
+    figure6_regfile,
+    figure9_cdprf,
+    table2_workloads,
+)
+from repro.experiments.runner import SCALES, ExperimentRunner
+from repro.trace.workloads import build_pool
+
+
+@pytest.fixture(scope="module")
+def mini_runner():
+    scale = dataclasses.replace(
+        SCALES["smoke"], name="mini", n_uops=1200, warmup_frac=0.2
+    )
+    pool = build_pool(
+        n_uops=1200,
+        n_ilp=1,
+        n_mem=1,
+        n_mix=1,
+        n_mixes_category=0,
+        categories=("DH", "server"),
+    )
+    return ExperimentRunner(scale, pool=pool)
+
+
+@pytest.mark.slow
+def test_figure2_structure(mini_runner):
+    fig = figure2_iq_throughput(mini_runner)
+    assert set(fig.rows) == {"DH", "server", "AVG"}
+    assert len(fig.columns) == 2 * len(IQ_SCHEMES)
+    # normalization anchor: icount@32 is exactly 1.0 for every row
+    for cells in fig.rows.values():
+        assert cells["icount@32"] == pytest.approx(1.0)
+
+
+@pytest.mark.slow
+def test_figures_3_and_4_reuse_figure2_runs(mini_runner):
+    figure2_iq_throughput(mini_runner)
+    after_fig2 = mini_runner.sims_run
+    figure3_copies(mini_runner)
+    figure4_iq_stalls(mini_runner)
+    assert mini_runner.sims_run == after_fig2, "figures 3/4 must reuse cached runs"
+
+
+@pytest.mark.slow
+def test_figure5_rows_normalized(mini_runner):
+    fig = figure5_imbalance(mini_runner)
+    for name, cells in fig.rows.items():
+        assert sum(cells.values()) == pytest.approx(1.0, abs=1e-6), name
+    assert any(name.startswith("AVG/") for name in fig.rows)
+
+
+@pytest.mark.slow
+def test_figure6_structure(mini_runner):
+    fig = figure6_regfile(mini_runner)
+    assert "cssp@64" in fig.columns and "cisprf@128" in fig.columns
+    assert all(v > 0 for v in fig.rows["AVG"].values())
+
+
+@pytest.mark.slow
+def test_figure9_has_avg_and_workload_rows(mini_runner):
+    fig = figure9_cdprf(mini_runner, per_type=1)
+    assert "AVG" in fig.rows
+    assert "ilp.2.1" in fig.rows
+    assert set(fig.columns) == {"cssp", "cssprf", "cisprf", "cdprf"}
+
+
+def test_table2_counts(mini_runner):
+    fig = table2_workloads(mini_runner)
+    assert fig.rows["DH"] == {"ILP": 1.0, "MEM": 1.0, "MIX": 1.0}
+    assert fig.rows["total"]["ILP"] == 2.0

@@ -1,0 +1,45 @@
+"""Reporting (tables + JSON) tests."""
+
+import json
+
+from repro.experiments.reporting import format_table, save_json
+
+
+def test_format_table_alignment():
+    text = format_table(
+        "T",
+        {"rowA": {"c1": 1.0, "c2": 2.0}, "longer-row": {"c1": 0.5}},
+        ["c1", "c2"],
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "rowA" in text and "longer-row" in text
+    assert "1.000" in text and "0.500" in text
+    assert "-" in text  # missing c2 for longer-row renders as dash
+
+
+def test_format_table_custom_format():
+    text = format_table("T", {"r": {"c": 0.123456}}, ["c"], value_format="{:.1%}")
+    assert "12.3%" in text
+
+
+def test_save_json_roundtrip(tmp_path):
+    payload = {"a": [1, 2], "b": {"c": 0.5}}
+    path = save_json(tmp_path / "sub" / "out.json", payload)
+    assert json.loads(path.read_text()) == payload
+
+
+def test_figure_result_render_and_dict():
+    from repro.experiments.figures import FigureResult
+
+    fig = FigureResult(
+        "Figure X",
+        "demo",
+        ["a", "b"],
+        {"cat1": {"a": 1.0, "b": 2.0}, "AVG": {"a": 1.5, "b": 2.5}},
+    )
+    text = fig.render()
+    assert "Figure X" in text and "cat1" in text
+    d = fig.as_dict()
+    assert d["columns"] == ["a", "b"]
+    assert fig.column_average("a") == 1.0  # AVG row excluded

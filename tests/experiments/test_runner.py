@@ -1,0 +1,114 @@
+"""Experiment runner (pool, cache, sweeps) tests."""
+
+import pytest
+
+from repro.experiments.runner import (
+    SCALES,
+    ExperimentRunner,
+    RunKey,
+    figure2_config,
+    figure6_config,
+    scale_from_env,
+)
+
+# an intentionally tiny scale so these tests run in a few seconds
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    r = ExperimentRunner("smoke", cache_dir=tmp_path_factory.mktemp("cache"))
+    # shrink further: one workload per category is plenty for API tests
+    return r
+
+
+def test_scales_defined():
+    assert {"smoke", "quick", "medium", "full"} <= set(SCALES)
+    full = SCALES["full"]
+    assert (full.n_ilp, full.n_mem, full.n_mix) == (3, 3, 2)  # Table 2
+    assert full.n_mixes_category == 32
+
+
+def test_scale_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    assert scale_from_env().name == "smoke"
+    monkeypatch.setenv("REPRO_SCALE", "bogus")
+    with pytest.raises(KeyError):
+        scale_from_env()
+
+
+def test_pool_lazy_and_stable(runner):
+    pool = runner.pool
+    assert pool is runner.pool
+    assert len(pool) > 10
+
+
+def test_figure_configs_differ():
+    a = figure2_config(32)
+    b = figure2_config(64)
+    assert a.digest() != b.digest()
+    assert a.unbounded_regs and a.unbounded_rob
+    c = figure6_config(64)
+    assert not c.unbounded_regs
+    assert c.cluster.int_regs == 64
+
+
+def test_run_caches_in_memory(runner):
+    wl = runner.pool.workloads[0]
+    cfg = figure2_config(32)
+    first = runner.run(cfg, "icount", wl)
+    sims = runner.sims_run
+    again = runner.run(cfg, "icount", wl)
+    assert runner.sims_run == sims  # no new simulation
+    assert again is first
+
+
+def test_run_caches_on_disk(runner, tmp_path):
+    wl = runner.pool.workloads[0]
+    cfg = figure2_config(32)
+    r1 = ExperimentRunner("smoke", cache_dir=tmp_path, pool=runner.pool)
+    rec = r1.run(cfg, "icount", wl)
+    r2 = ExperimentRunner("smoke", cache_dir=tmp_path, pool=runner.pool)
+    rec2 = r2.run(cfg, "icount", wl)
+    assert r2.sims_run == 0 and r2.cache_hits == 1
+    assert rec2.ipc == pytest.approx(rec.ipc)
+    assert rec2.committed_per_thread == rec.committed_per_thread
+
+
+def test_distinct_policies_not_conflated(runner):
+    wl = runner.pool.workloads[0]
+    cfg = figure2_config(32)
+    a = runner.run(cfg, "icount", wl)
+    b = runner.run(cfg, "pc", wl)
+    assert a is not b
+
+
+def test_single_thread_reference_cached(runner):
+    cfg = figure6_config(64)
+    tr = runner.pool.workloads[0].traces[0]
+    first = runner.run_single(cfg, tr)
+    sims = runner.sims_run
+    runner.run_single(cfg, tr)
+    assert runner.sims_run == sims
+    # measurement starts after the warmup window, so the counted commits
+    # are the remainder of the trace
+    assert 0 < first.committed_per_thread[0] <= len(tr)
+
+
+def test_sweep_covers_product(runner):
+    cfg = figure2_config(32)
+    wls = runner.pool.workloads[:2]
+    out = runner.sweep(cfg, ["icount", "pc"], wls)
+    assert len(out) == 4
+    assert all(len(k) == 3 for k in out)
+
+
+def test_runkey_filename_safe():
+    key = RunKey("quick", "abc", "flush+", "mixes/mix.2.1", "first_done")
+    name = key.filename()
+    assert "/" not in name
+    assert name.endswith(".json")
+
+
+def test_ispec_fspec_pool_structure(runner):
+    pool = runner.ispec_fspec_pool(2)
+    assert pool.categories() == ["ISPEC-FSPEC"]
+    names = [w.name for w in pool]
+    assert "ilp.2.1" in names and "mem.2.2" in names and "mix.2.4" in names

@@ -1,0 +1,142 @@
+"""Indirect-branch predictor and MROM complex-op feature tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import baseline_config
+from repro.core.processor import Processor
+from repro.core.simulator import run_simulation
+from repro.frontend.branch import IndirectPredictor
+from repro.policies import make_policy
+from repro.trace.synthesis import TraceProfile, generate_trace
+
+
+class TestIndirectPredictor:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            IndirectPredictor(1000)
+
+    def test_cold_entry_mispredicts(self):
+        p = IndirectPredictor(256)
+        assert p.predict(0, 0x10) == -1
+        assert not p.update(0, 0x10, 3)
+
+    def test_repeating_target_learned(self):
+        p = IndirectPredictor(256)
+        p.update(0, 0x10, 7)
+        assert p.update(0, 0x10, 7)
+        assert p.accuracy == pytest.approx(0.5)
+
+    def test_dominant_target_pattern(self):
+        p = IndirectPredictor(4096, 1)
+        hits = sum(
+            p.update(0, 0x42, 0 if i % 4 else 9)  # dominant 0, minor 9
+            for i in range(400)
+        )
+        assert hits / 400 > 0.4
+
+    def test_threads_do_not_alias(self):
+        p = IndirectPredictor(4096, 2)
+        p.update(0, 0x10, 1)
+        p.update(1, 0x10, 2)
+        assert p.predict(0, 0x10) == 1
+        assert p.predict(1, 0x10) == 2
+
+    def test_reset_stats(self):
+        p = IndirectPredictor(256)
+        p.update(0, 0x10, 1)
+        p.reset_stats()
+        assert p.lookups == 0 and p.correct == 0
+
+
+@pytest.fixture(scope="module")
+def indirect_profile():
+    return TraceProfile(
+        name="ind",
+        frac_indirect=0.4,
+        frac_complex=0.05,
+        frac_branch=0.15,
+        dep_locality=0.4,
+        working_set_lines=300,
+        n_blocks=32,
+    )
+
+
+class TestIndirectTraces:
+    def test_generation_and_validation(self, indirect_profile):
+        t = generate_trace(indirect_profile, seed=3, n_uops=6000)
+        t.validate()
+        assert t.records["indirect"].sum() > 20
+        assert t.records["complex_op"].sum() > 10
+
+    def test_indirect_always_taken(self, indirect_profile):
+        t = generate_trace(indirect_profile, seed=3, n_uops=6000)
+        ind = t.records["indirect"].astype(bool)
+        assert t.records["taken"][ind].all()
+
+    def test_targets_dominated_by_hot_target(self, indirect_profile):
+        t = generate_trace(indirect_profile, seed=3, n_uops=12_000)
+        rec = t.records
+        ind = rec["indirect"].astype(bool)
+        # per static branch, the most frequent target takes most executions
+        for pc in np.unique(rec["pc"][ind])[:5]:
+            targets = rec["target"][ind & (rec["pc"] == pc)]
+            if len(targets) >= 20:
+                top = np.bincount(targets).max()
+                assert top / len(targets) > 0.5
+
+    def test_knob_zero_emits_no_features(self, ilp_profile):
+        t = generate_trace(ilp_profile, seed=3, n_uops=4000)
+        assert t.records["indirect"].sum() == 0
+        assert t.records["complex_op"].sum() == 0
+        assert (t.records["target"] == 0).all()
+
+    def test_features_do_not_perturb_base_stream(self, ilp_profile):
+        """Enabling features must not change the base program (separate
+        rng): old fields of a knob-zero trace equal those of the same
+        profile — this is what keeps cached results valid."""
+        import dataclasses
+
+        base = generate_trace(ilp_profile, seed=9, n_uops=3000)
+        again = generate_trace(
+            dataclasses.replace(ilp_profile), seed=9, n_uops=3000
+        )
+        assert np.array_equal(base.records, again.records)
+
+
+class TestIndirectPipeline:
+    def test_run_with_indirect_branches(self, indirect_profile):
+        cfg = baseline_config()
+        t1 = generate_trace(indirect_profile, seed=1, n_uops=4000)
+        t2 = generate_trace(indirect_profile, seed=2, n_uops=4000)
+        res = run_simulation(cfg, "cssp", [t1, t2], stop="all_done")
+        assert res.committed == 8000
+        assert res.stats["extra"]["indirect_lookups"] > 50
+        assert 0.2 < res.stats["extra"]["indirect_accuracy"] < 0.95
+
+    def test_indirect_mispredicts_trigger_wrong_path(self, indirect_profile):
+        cfg = baseline_config()
+        t1 = generate_trace(indirect_profile, seed=1, n_uops=4000)
+        t2 = generate_trace(indirect_profile, seed=2, n_uops=4000)
+        proc = Processor(cfg, make_policy("icount"), [t1, t2])
+        while not proc.all_done() and proc.cycle < 200_000:
+            proc.step()
+        assert proc.all_done()
+        assert proc.stats.mispredicts > 0
+        assert proc.stats.wrong_path_fetched > 0
+
+    def test_complex_ops_slow_fetch(self):
+        cfg = baseline_config()
+        plain = TraceProfile(name="plain", frac_branch=0.05, dep_locality=0.2)
+        heavy = TraceProfile(
+            name="heavy", frac_branch=0.05, dep_locality=0.2, frac_complex=0.2
+        )
+        t_plain = [generate_trace(plain, seed=s, n_uops=4000) for s in (1, 2)]
+        t_heavy = [generate_trace(heavy, seed=s, n_uops=4000) for s in (1, 2)]
+        fast = run_simulation(cfg, "icount", t_plain, stop="all_done")
+        slow = run_simulation(cfg, "icount", t_heavy, stop="all_done")
+        assert slow.cycles > fast.cycles * 1.1  # MROM serialization costs
+
+    def test_knob_zero_never_consults_ipredictor(self, config, ilp_trace, fp_trace):
+        res = run_simulation(config, "icount", [ilp_trace, fp_trace])
+        assert res.stats["extra"]["indirect_lookups"] == 0

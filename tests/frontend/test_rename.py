@@ -1,0 +1,88 @@
+"""Rename table (mapping + replica) tests."""
+
+import pytest
+
+from repro.backend.regfile import READY_EVERYWHERE
+from repro.frontend.rename import Mapping, RenameTable
+from repro.isa import NO_REG, NUM_ARCH_REGS
+
+
+def test_initial_state_is_static():
+    t = RenameTable()
+    for arch in range(NUM_ARCH_REGS):
+        m = t.lookup(arch)
+        assert m.is_static
+        assert t.present_in(arch, 0) and t.present_in(arch, 1)
+        assert t.phys_in(arch, 0) == READY_EVERYWHERE
+
+
+def test_define_and_lookup():
+    t = RenameTable()
+    prev = t.define(3, cluster=1, phys=7)
+    assert prev.is_static
+    m = t.lookup(3)
+    assert m.cluster == 1 and m.phys == 7 and m.replica == NO_REG
+    assert t.present_in(3, 1)
+    assert not t.present_in(3, 0)
+    assert t.phys_in(3, 1) == 7
+    assert t.phys_in(3, 0) == NO_REG
+
+
+def test_replica_lifecycle():
+    t = RenameTable()
+    t.define(3, cluster=0, phys=5)
+    t.set_replica(3, 9)
+    assert t.present_in(3, 1)
+    assert t.phys_in(3, 1) == 9
+    assert t.phys_in(3, 0) == 5
+
+
+def test_replica_requires_dynamic_mapping():
+    t = RenameTable()
+    with pytest.raises(RuntimeError, match="static"):
+        t.set_replica(2, 4)
+
+
+def test_double_replica_rejected():
+    t = RenameTable()
+    t.define(3, 0, 5)
+    t.set_replica(3, 9)
+    with pytest.raises(RuntimeError, match="replica"):
+        t.set_replica(3, 10)
+
+
+def test_redefine_clears_replica():
+    t = RenameTable()
+    t.define(3, 0, 5)
+    t.set_replica(3, 9)
+    prev = t.define(3, 1, 6)
+    assert prev == Mapping(0, 5, 9)  # old replica captured for freeing
+    assert t.lookup(3).replica == NO_REG
+
+
+def test_undo_define_restores_exactly():
+    t = RenameTable()
+    t.define(3, 0, 5)
+    t.set_replica(3, 9)
+    prev = t.define(3, 1, 6)
+    t.undo_define(3, prev)
+    assert t.lookup(3) == Mapping(0, 5, 9)
+
+
+def test_clear_replica_only_if_matching():
+    t = RenameTable()
+    t.define(3, 0, 5)
+    t.set_replica(3, 9)
+    t.clear_replica(3, 4)  # wrong phys: no-op
+    assert t.lookup(3).replica == 9
+    t.clear_replica(3, 9)
+    assert t.lookup(3).replica == NO_REG
+
+
+def test_live_mappings():
+    t = RenameTable()
+    assert t.live_mappings() == []
+    t.define(2, 0, 1)
+    t.define(8, 1, 3)
+    live = dict(t.live_mappings())
+    assert set(live) == {2, 8}

@@ -1,0 +1,84 @@
+"""Steering ([12]-style dependence + balance) tests."""
+
+import pytest
+
+from repro.backend.cluster import Cluster
+from repro.config import baseline_config
+from repro.frontend.rename import RenameTable
+from repro.frontend.steering import LoadBalanceSteering, RoundRobinSteering, Steering
+from repro.isa import Uop, UopClass
+
+
+@pytest.fixture()
+def clusters():
+    cfg = baseline_config()
+    return [Cluster(i, cfg) for i in range(2)]
+
+
+def _fill_iq(cluster, n, tid=0):
+    for i in range(n):
+        u = Uop(tid, UopClass.INT_ALU)
+        u.age = 1000 + cluster.index * 100 + i
+        u.wait_count = 1  # keep it parked
+        cluster.iq.dispatch(u)
+
+
+def test_prefers_cluster_with_sources(clusters):
+    table = RenameTable()
+    table.define(1, cluster=1, phys=0)
+    u = Uop(0, UopClass.INT_ALU, dest=2, src1=1)
+    s = Steering(imbalance_threshold=4)
+    assert s.preferred_cluster(u, table, clusters) == 1
+
+
+def test_majority_of_sources_wins(clusters):
+    table = RenameTable()
+    table.define(1, cluster=0, phys=0)
+    table.define(2, cluster=0, phys=1)
+    u = Uop(0, UopClass.INT_ALU, dest=3, src1=1, src2=2)
+    assert Steering().preferred_cluster(u, table, clusters) == 0
+
+
+def test_tie_goes_to_less_loaded(clusters):
+    table = RenameTable()  # all sources static -> counted in both clusters
+    _fill_iq(clusters[0], 5)
+    u = Uop(0, UopClass.INT_ALU, dest=3, src1=1, src2=2)
+    assert Steering().preferred_cluster(u, table, clusters) == 1
+
+
+def test_replica_counts_for_both(clusters):
+    table = RenameTable()
+    table.define(1, cluster=0, phys=0)
+    table.set_replica(1, 3)
+    _fill_iq(clusters[0], 3)
+    u = Uop(0, UopClass.INT_ALU, dest=2, src1=1)
+    # value available in both clusters -> tie -> lighter cluster
+    assert Steering().preferred_cluster(u, table, clusters) == 1
+
+
+def test_balance_override(clusters):
+    table = RenameTable()
+    table.define(1, cluster=0, phys=0)
+    _fill_iq(clusters[0], 10)
+    u = Uop(0, UopClass.INT_ALU, dest=2, src1=1)
+    # dependence prefers 0, but 0 is 10 entries heavier than 1
+    assert Steering(imbalance_threshold=4).preferred_cluster(u, table, clusters) == 1
+    # a lax threshold keeps the dependence choice
+    assert Steering(imbalance_threshold=20).preferred_cluster(u, table, clusters) == 0
+
+
+def test_round_robin_alternates(clusters):
+    s = RoundRobinSteering()
+    table = RenameTable()
+    u = Uop(0, UopClass.INT_ALU)
+    picks = [s.preferred_cluster(u, table, clusters) for _ in range(4)]
+    assert picks == [0, 1, 0, 1]
+
+
+def test_load_balance_always_lighter(clusters):
+    s = LoadBalanceSteering()
+    table = RenameTable()
+    table.define(1, cluster=0, phys=0)
+    _fill_iq(clusters[0], 1)
+    u = Uop(0, UopClass.INT_ALU, src1=1)
+    assert s.preferred_cluster(u, table, clusters) == 1  # ignores dependences

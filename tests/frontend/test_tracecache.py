@@ -1,0 +1,59 @@
+"""Trace cache + MITE timing tests."""
+
+from repro.config import FrontEndConfig, TLBConfig
+from repro.frontend.tracecache import TraceCache
+
+
+def _tc(uops=960, line=6, fill=5):
+    fe = FrontEndConfig(
+        trace_cache_uops=uops, trace_cache_line_uops=line, mite_fill_latency=fill
+    )
+    return TraceCache(fe, TLBConfig(entries=64, assoc=8, miss_latency=30))
+
+
+def test_miss_then_hit():
+    tc = _tc()
+    first = tc.lookup(0)
+    assert first >= 5  # MITE fill (plus ITLB walk)
+    assert tc.lookup(0) == 0
+    assert tc.misses == 1 and tc.hits == 1
+
+
+def test_same_line_shares_entry():
+    tc = _tc(line=6)
+    tc.lookup(0)
+    assert tc.lookup(5) == 0   # same line of 6 uops
+    assert tc.lookup(6) >= 5   # next line misses
+
+
+def test_itlb_latency_included_once_per_page():
+    tc = _tc()
+    cold = tc.lookup(0)
+    assert cold == 5 + 30  # MITE + ITLB walk
+    warm_miss = tc.lookup(12)  # same page, different line
+    assert warm_miss == 5
+
+
+def test_hit_rate_on_loop():
+    tc = _tc()
+    for _ in range(20):
+        for pc in range(0, 120, 6):
+            tc.lookup(pc)
+    assert tc.hit_rate > 0.9
+
+
+def test_capacity_eviction():
+    tc = _tc(uops=96, line=6)  # 16 lines
+    for pc in range(0, 6 * 64, 6):
+        tc.lookup(pc)
+    tc.reset_stats()
+    tc.lookup(0)
+    assert tc.misses == 1  # line 0 was evicted long ago
+
+
+def test_reset_stats_keeps_contents():
+    tc = _tc()
+    tc.lookup(0)
+    tc.reset_stats()
+    assert tc.lookup(0) == 0
+    assert tc.hits == 1 and tc.misses == 0

@@ -1,0 +1,53 @@
+"""Architectural register namespace tests."""
+
+import pytest
+
+from repro.isa import (
+    NUM_ARCH_FP,
+    NUM_ARCH_INT,
+    NUM_ARCH_REGS,
+    RegClass,
+    reg_class,
+    reg_name,
+)
+
+
+def test_namespace_sizes():
+    assert NUM_ARCH_REGS == NUM_ARCH_INT + NUM_ARCH_FP
+    assert NUM_ARCH_INT == 16
+    assert NUM_ARCH_FP == 16
+
+
+def test_int_regs_classify_int():
+    for r in range(NUM_ARCH_INT):
+        assert reg_class(r) == RegClass.INT
+
+
+def test_fp_regs_classify_fp():
+    for r in range(NUM_ARCH_INT, NUM_ARCH_REGS):
+        assert reg_class(r) == RegClass.FP
+
+
+@pytest.mark.parametrize("bad", [-1, NUM_ARCH_REGS, NUM_ARCH_REGS + 5])
+def test_reg_class_rejects_out_of_range(bad):
+    with pytest.raises(ValueError):
+        reg_class(bad)
+
+
+def test_reg_names():
+    assert reg_name(0) == "r0"
+    assert reg_name(NUM_ARCH_INT - 1) == f"r{NUM_ARCH_INT - 1}"
+    assert reg_name(NUM_ARCH_INT) == "x0"
+    assert reg_name(NUM_ARCH_REGS - 1) == f"x{NUM_ARCH_FP - 1}"
+
+
+@pytest.mark.parametrize("bad", [-1, NUM_ARCH_REGS])
+def test_reg_name_rejects_out_of_range(bad):
+    with pytest.raises(ValueError):
+        reg_name(bad)
+
+
+def test_regclass_values_index_files():
+    # RegClass values are used as list indices throughout the backend
+    assert int(RegClass.INT) == 0
+    assert int(RegClass.FP) == 1

@@ -1,0 +1,65 @@
+"""Micro-op model tests."""
+
+import pytest
+
+from repro.isa import NO_REG, Uop, UopClass, is_mem_class, port_class
+from repro.isa.uops import PORT_FP, PORT_INT, PORT_MEM
+
+
+def test_port_class_mapping():
+    assert port_class(UopClass.INT_ALU) == PORT_INT
+    assert port_class(UopClass.INT_MUL) == PORT_INT
+    assert port_class(UopClass.BRANCH) == PORT_INT
+    assert port_class(UopClass.COPY) == PORT_INT
+    assert port_class(UopClass.FP) == PORT_FP
+    assert port_class(UopClass.SIMD) == PORT_FP
+    assert port_class(UopClass.LOAD) == PORT_MEM
+    assert port_class(UopClass.STORE) == PORT_MEM
+
+
+def test_is_mem_class():
+    assert is_mem_class(UopClass.LOAD)
+    assert is_mem_class(UopClass.STORE)
+    assert not is_mem_class(UopClass.INT_ALU)
+    assert not is_mem_class(UopClass.BRANCH)
+
+
+def test_uop_defaults():
+    u = Uop(0, UopClass.INT_ALU, dest=3, src1=1, src2=2)
+    assert u.wait_count == 0
+    assert not u.issued and not u.completed and not u.squashed
+    assert u.phys_dest == NO_REG
+    assert u.age == -1
+    assert u.waits is None
+
+
+def test_sources_skips_no_reg():
+    assert Uop(0, UopClass.INT_ALU).sources() == ()
+    assert Uop(0, UopClass.INT_ALU, src1=4).sources() == (4,)
+    assert Uop(0, UopClass.INT_ALU, src1=4, src2=9).sources() == (4, 9)
+
+
+def test_duplicate_sources_reported_twice():
+    # rename dedups them; the uop itself reports raw operands
+    u = Uop(0, UopClass.INT_ALU, src1=4, src2=4)
+    assert u.sources() == (4, 4)
+
+
+def test_class_predicates():
+    assert Uop(0, UopClass.BRANCH).is_branch
+    assert Uop(0, UopClass.LOAD).is_load and Uop(0, UopClass.LOAD).is_mem
+    assert Uop(0, UopClass.STORE).is_store and Uop(0, UopClass.STORE).is_mem
+    assert Uop(0, UopClass.COPY).is_copy
+    assert not Uop(0, UopClass.FP).is_mem
+
+
+def test_uop_classes_are_ints():
+    # hot paths rely on plain-int comparisons
+    u = Uop(0, int(UopClass.LOAD))
+    assert u.opclass == UopClass.LOAD
+
+
+def test_uop_has_slots():
+    u = Uop(0, UopClass.INT_ALU)
+    with pytest.raises(AttributeError):
+        u.not_a_field = 1  # type: ignore[attr-defined]

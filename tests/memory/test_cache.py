@@ -1,0 +1,97 @@
+"""Set-associative cache model tests."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.memory.cache import SetAssocCache
+
+
+def _cache(size=1024, assoc=2, line=64):
+    return SetAssocCache(CacheConfig(size_bytes=size, assoc=assoc, line_bytes=line))
+
+
+def test_geometry():
+    c = _cache(size=1024, assoc=2, line=64)
+    assert c.num_sets == 8
+    assert c.assoc == 2
+
+
+def test_geometry_must_divide():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, assoc=3, line_bytes=64)
+
+
+def test_miss_then_hit():
+    c = _cache()
+    assert not c.access(5)
+    assert c.access(5)
+    assert c.hits == 1 and c.misses == 1
+
+
+def test_lru_eviction():
+    c = _cache(size=1024, assoc=2)  # 8 sets, 2 ways
+    a, b, d = 0, 8, 16  # all map to set 0
+    c.access(a)
+    c.access(b)
+    c.access(d)  # evicts a (LRU)
+    assert not c.probe(a)
+    assert c.probe(b) and c.probe(d)
+    assert c.evictions == 1
+
+
+def test_lru_refresh_on_hit():
+    c = _cache(size=1024, assoc=2)
+    a, b, d = 0, 8, 16
+    c.access(a)
+    c.access(b)
+    c.access(a)  # refresh a; b becomes LRU
+    c.access(d)  # evicts b
+    assert c.probe(a) and not c.probe(b)
+
+
+def test_probe_does_not_allocate():
+    c = _cache()
+    assert not c.probe(3)
+    assert not c.probe(3)
+    assert c.misses == 0  # probe is stats-neutral
+
+
+def test_invalidate():
+    c = _cache()
+    c.access(7)
+    assert c.invalidate(7)
+    assert not c.probe(7)
+    assert not c.invalidate(7)
+
+
+def test_hit_rate_and_reset():
+    c = _cache()
+    c.access(1)
+    c.access(1)
+    c.access(2)
+    assert c.hit_rate == pytest.approx(1 / 3)
+    c.reset_stats()
+    assert c.accesses == 0 and c.hit_rate == 0.0
+
+
+def test_occupancy():
+    c = _cache(size=1024, assoc=2)
+    for line in range(10):
+        c.access(line)
+    assert c.occupancy() == 10
+
+
+def test_from_geometry():
+    c = SetAssocCache.from_geometry(4, 2, name="tiny")
+    for line in range(8):
+        assert not c.access(line)
+    assert c.occupancy() == 8
+    assert not c.access(8)  # evicts line 0
+    assert not c.probe(0)
+
+
+def test_capacity_never_exceeded():
+    c = _cache(size=1024, assoc=2)
+    for line in range(1000):
+        c.access(line)
+    assert c.occupancy() <= 16

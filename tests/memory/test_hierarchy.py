@@ -1,0 +1,96 @@
+"""Memory hierarchy (L1/L2/memory + buses) tests."""
+
+import pytest
+
+from repro.config import CacheConfig, MemoryConfig, TLBConfig
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture()
+def mem():
+    cfg = MemoryConfig(
+        l1=CacheConfig(size_bytes=1024, assoc=2, hit_latency=1),
+        l2=CacheConfig(size_bytes=16 * 1024, assoc=8, hit_latency=12),
+        memory_latency=60,
+        dtlb=TLBConfig(entries=64, assoc=8, miss_latency=30),
+    )
+    return MemoryHierarchy(cfg)
+
+
+def _touch_page(mem, line=0):
+    """Prime the DTLB so later latencies are cache-only."""
+    mem.access(line, now=0)
+
+
+def test_cold_access_goes_to_memory(mem):
+    res = mem.access(4096, now=100)
+    assert res.l2_miss and not res.l1_hit
+    # L1 hit lat + tlb walk + L2 lat + memory lat
+    assert res.latency == 1 + 30 + 12 + 60
+
+
+def test_l1_hit_after_fill(mem):
+    mem.access(5, now=0)
+    res = mem.access(5, now=300)
+    assert res.l1_hit
+    assert res.latency == 1
+
+
+def test_l2_hit_after_l1_eviction(mem):
+    _touch_page(mem)
+    # L1: 8 sets x 2 ways; lines 0, 8, 16 collide in set 0
+    mem.access(0, now=200)
+    mem.access(8, now=300)
+    mem.access(16, now=400)  # evicts 0 from L1; L2 keeps it
+    res = mem.access(0, now=500)
+    assert not res.l1_hit and res.l2_hit
+    assert res.latency == 1 + 12
+
+
+def test_bus_contention(mem):
+    _touch_page(mem)
+    # three simultaneous L1 misses over two buses (same 4K page so the
+    # DTLB stays out of the latency): the third waits for a bus
+    r1 = mem.access(40, now=1000)
+    r2 = mem.access(48, now=1000)
+    r3 = mem.access(56, now=1000)
+    assert r1.latency == r2.latency
+    assert r3.latency == r1.latency + 1
+    assert mem.bus_wait_cycles == 1
+
+
+def test_miss_coalescing(mem):
+    _touch_page(mem)
+    first = mem.access(200, now=0)
+    again = mem.access(200, now=5)
+    assert again.l2_hit  # merged into the in-flight fill
+    assert again.latency <= first.latency
+    assert mem.coalesced_misses == 1
+
+
+def test_coalesced_latency_matches_fill_completion(mem):
+    _touch_page(mem)
+    first = mem.access(300, now=0)
+    again = mem.access(300, now=10)
+    assert 10 + again.latency == first.latency  # same absolute completion
+
+
+def test_store_allocates(mem):
+    mem.access(77, now=0, is_store=True)
+    res = mem.access(77, now=500)
+    assert res.l1_hit
+
+
+def test_tlb_miss_reported(mem):
+    res = mem.access(0, now=0)
+    assert res.tlb_miss
+    res2 = mem.access(1, now=100)
+    assert not res2.tlb_miss
+
+
+def test_reset_stats(mem):
+    mem.access(0, now=0)
+    mem.reset_stats()
+    assert mem.l1.accesses == 0
+    assert mem.l2.accesses == 0
+    assert mem.bus_wait_cycles == 0

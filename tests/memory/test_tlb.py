@@ -1,0 +1,39 @@
+"""TLB model tests."""
+
+from repro.config import TLBConfig
+from repro.memory.tlb import TLB
+
+
+def _tlb(entries=64, assoc=8, miss_latency=30):
+    return TLB(TLBConfig(entries=entries, assoc=assoc, miss_latency=miss_latency))
+
+
+def test_miss_then_hit_same_page():
+    t = _tlb()
+    assert t.translate(0) == 30
+    assert t.translate(0) == 0
+    # lines 0..63 share the 4K page (64 lines of 64B)
+    assert t.translate(63) == 0
+    assert t.translate(64) == 30  # next page
+
+
+def test_counters():
+    t = _tlb()
+    t.translate(0)
+    t.translate(1)
+    t.translate(64 * 5)
+    assert t.misses == 2 and t.hits == 1
+    t.reset_stats()
+    assert t.misses == 0 and t.hits == 0
+
+
+def test_capacity_eviction():
+    t = _tlb(entries=8, assoc=8)  # one set, 8 ways
+    for page in range(9):
+        t.translate(page * 64)
+    assert t.translate(0) == 30  # page 0 was evicted
+
+
+def test_custom_miss_latency():
+    t = _tlb(miss_latency=99)
+    assert t.translate(12345) == 99

@@ -1,0 +1,52 @@
+"""Fairness metric ([17]/[33]) tests."""
+
+import pytest
+
+from repro.metrics.fairness import fairness, fairness_speedup
+
+
+def test_equal_slowdown_is_perfectly_fair():
+    # both threads at 50% of their standalone speed
+    assert fairness([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.0)
+
+
+def test_starved_thread_drives_fairness_down():
+    # thread 1 at 10% progress, thread 0 at 90%
+    f = fairness([0.9, 0.1], [1.0, 1.0])
+    assert f == pytest.approx(0.1 / 0.9)
+
+
+def test_total_starvation_is_zero():
+    assert fairness([1.0, 0.0], [1.0, 1.0]) == 0.0
+
+
+def test_symmetry():
+    a = fairness([0.5, 0.8], [1.0, 1.0])
+    b = fairness([0.8, 0.5], [1.0, 1.0])
+    assert a == pytest.approx(b)
+
+
+def test_bounds():
+    f = fairness([0.3, 0.7], [1.0, 1.0])
+    assert 0.0 <= f <= 1.0
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        fairness([1.0], [1.0])  # needs >= 2 threads
+    with pytest.raises(ValueError):
+        fairness([1.0, 1.0], [1.0])  # length mismatch
+    with pytest.raises(ValueError):
+        fairness([1.0, 1.0], [0.0, 1.0])  # zero reference
+
+
+def test_speedup_relative_to_baseline():
+    st = [1.0, 1.0]
+    base_mt = [0.9, 0.3]  # fairness = 1/3
+    new_mt = [0.6, 0.4]   # fairness = 2/3
+    assert fairness_speedup(new_mt, st, base_mt) == pytest.approx(2.0)
+
+
+def test_speedup_rejects_zero_baseline_fairness():
+    with pytest.raises(ValueError):
+        fairness_speedup([0.5, 0.5], [1.0, 1.0], [1.0, 0.0])

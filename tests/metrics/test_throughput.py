@@ -1,0 +1,44 @@
+"""Throughput metric helper tests."""
+
+import pytest
+
+from repro.metrics.throughput import geomean, mean, normalize, speedup
+
+
+def test_speedup():
+    assert speedup(2.0, 1.0) == 2.0
+    assert speedup(1.0, 2.0) == 0.5
+
+
+def test_speedup_rejects_dead_baseline():
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)
+    with pytest.raises(ValueError):
+        speedup(1.0, -1.0)
+
+
+def test_normalize():
+    assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_geomean():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_geomean_rejects_nonpositive_and_empty():
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geomean([])
+
+
+def test_geomean_below_mean_for_spread_values():
+    vals = [0.5, 2.0, 1.0]
+    assert geomean(vals) < mean(vals)

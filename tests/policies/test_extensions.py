@@ -1,0 +1,102 @@
+"""DCRA and hill-climbing extension policy tests."""
+
+import pytest
+
+from repro.core.processor import Processor
+from repro.isa import Uop, UopClass
+from repro.policies import make_policy
+
+
+def _proc(config, traces, policy):
+    return Processor(config, policy, list(traces))
+
+
+class TestDCRA:
+    def test_slow_boost_validation(self):
+        with pytest.raises(ValueError):
+            make_policy("dcra", slow_boost=1.5)
+
+    def test_equal_split_when_homogeneous(self, config, ilp_trace, ilp_trace_b):
+        proc = _proc(config, [ilp_trace, ilp_trace_b], make_policy("dcra"))
+        pol = proc.policy
+        cap = proc.clusters[0].iq.capacity
+        assert pol._share(cap, 0) == cap // 2
+        assert pol._share(cap, 1) == cap // 2
+
+    def test_slow_thread_gets_boost(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], make_policy("dcra"))
+        pol = proc.policy
+        u = Uop(1, UopClass.LOAD, dest=1, src1=0)
+        pol.on_l2_miss(u)
+        cap = proc.clusters[0].iq.capacity  # 32
+        assert pol._share(cap, 1) > cap // 2   # slow thread boosted
+        assert pol._share(cap, 0) < cap // 2   # fast thread squeezed
+        pol.on_l2_fill(1)
+        assert pol._share(cap, 1) == cap // 2  # back to equal
+
+    def test_shares_always_positive_and_feasible(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], make_policy("dcra", slow_boost=1.0))
+        pol = proc.policy
+        pol._slow[0] = True
+        cap = proc.clusters[0].iq.capacity
+        s0, s1 = pol._share(cap, 0), pol._share(cap, 1)
+        assert s0 >= 1 and s1 >= 1
+        assert s0 + s1 <= cap + 1  # shares cannot jointly overflow the queue
+
+    def test_end_to_end(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], make_policy("dcra"))
+        while not proc.all_done() and proc.cycle < 300_000:
+            proc.step()
+        assert proc.all_done()
+
+
+class TestHillClimb:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            make_policy("hillclimb", epoch=0)
+        with pytest.raises(ValueError):
+            make_policy("hillclimb", step=-1)
+
+    def test_bias_moves_within_bounds(self, config, ilp_trace, mem_trace):
+        pol = make_policy("hillclimb", epoch=64, step=2, max_bias=4)
+        proc = _proc(config, [ilp_trace, mem_trace], pol)
+        for _ in range(2000):
+            proc.step()
+            assert -4 <= pol.bias <= 4
+            if proc.all_done():
+                break
+
+    def test_reverses_on_regression(self, config, ilp_trace, mem_trace):
+        pol = make_policy("hillclimb", epoch=128, step=2, max_bias=8)
+        proc = _proc(config, [ilp_trace, mem_trace], pol)
+        # fabricate: pretend the last epoch was fantastic, then awful
+        pol._last_ipc = -1.0
+        pol.on_cycle(128)           # first epoch: sets baseline
+        d0 = pol._direction
+        proc.stats.committed += 10_000
+        pol.on_cycle(256)           # huge improvement: keep direction
+        assert pol._direction == d0
+        pol.on_cycle(384)           # zero progress: reverse
+        assert pol._direction == -d0
+
+    def test_shares_respect_floor(self, config, ilp_trace, mem_trace):
+        pol = make_policy("hillclimb", max_bias=100, epoch=32)
+        proc = _proc(config, [ilp_trace, mem_trace], pol)
+        pol.bias = 100
+        cap = proc.clusters[0].iq.capacity
+        assert pol._iq_share_for(1, cap) >= 2   # losing thread keeps a floor
+        assert pol._iq_share_for(0, cap) <= cap - 2
+
+    def test_end_to_end(self, config, ilp_trace, fp_trace):
+        proc = _proc(config, [ilp_trace, fp_trace], make_policy("hillclimb", epoch=256))
+        while not proc.all_done() and proc.cycle < 300_000:
+            proc.step()
+        assert proc.all_done()
+
+    def test_single_thread_degenerates(self, config, ilp_trace):
+        proc = Processor(
+            config.with_threads(1), make_policy("hillclimb"), [ilp_trace]
+        )
+        while not proc.all_done() and proc.cycle < 200_000:
+            proc.step()
+        assert proc.all_done()

@@ -1,0 +1,60 @@
+"""Icount rename-selection tests (on a live processor)."""
+
+from repro.core.processor import Processor
+from repro.policies import make_policy
+
+
+def _proc(config, traces, policy="icount"):
+    return Processor(config, make_policy(policy), list(traces))
+
+
+def test_selects_lowest_icount(config, ilp_trace, mem_trace):
+    proc = _proc(config, [ilp_trace, mem_trace])
+    # prime both fetch queues
+    for _ in range(12):
+        proc.step()
+    t0, t1 = proc.threads
+    if t0.fetch_queue and t1.fetch_queue:
+        t0.icount, t1.icount = 5, 2
+        chosen = proc.policy.rename_select(proc.cycle)
+        assert chosen is t1
+
+
+def test_ties_round_robin(config, ilp_trace, ilp_trace_b):
+    proc = _proc(config, [ilp_trace, ilp_trace_b])
+    for _ in range(12):
+        proc.step()
+    t0, t1 = proc.threads
+    if t0.fetch_queue and t1.fetch_queue:
+        t0.icount = t1.icount = 3
+        first = proc.policy.rename_select(proc.cycle)
+        second = proc.policy.rename_select(proc.cycle)
+        assert {first.tid, second.tid} == {0, 1}
+
+
+def test_exclude_respected(config, ilp_trace, ilp_trace_b):
+    proc = _proc(config, [ilp_trace, ilp_trace_b])
+    for _ in range(12):
+        proc.step()
+    chosen = proc.policy.rename_select(proc.cycle, frozenset({0, 1}))
+    assert chosen is None
+
+
+def test_empty_queue_ineligible(config, ilp_trace, ilp_trace_b):
+    proc = _proc(config, [ilp_trace, ilp_trace_b])
+    for _ in range(12):
+        proc.step()
+    proc.threads[0].fetch_queue.clear()
+    proc.threads[0].icount = 0  # lowest, but nothing to rename
+    chosen = proc.policy.rename_select(proc.cycle)
+    assert chosen is proc.threads[1]
+
+
+def test_no_admission_limits(config, ilp_trace, mem_trace):
+    proc = _proc(config, [ilp_trace, mem_trace])
+    pol = proc.policy
+    for tid in (0, 1):
+        for cluster in (0, 1):
+            assert pol.may_dispatch(tid, cluster)
+            assert pol.may_alloc_reg(tid, 0, cluster)
+            assert pol.may_alloc_reg(tid, 1, cluster)

@@ -1,0 +1,89 @@
+"""CSSPRF / CISPRF static register partition tests."""
+
+import pytest
+
+from repro.core.processor import Processor
+from repro.policies import make_policy
+
+
+def _proc(config, traces, policy):
+    return Processor(config, make_policy(policy), list(traces))
+
+
+def _charge(policy, tid, k, cluster, n):
+    for _ in range(n):
+        policy.on_reg_alloc(tid, k, cluster)
+
+
+class TestCSSPRF:
+    def test_half_of_each_cluster_file(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "cssprf")
+        pol = proc.policy
+        share = config.cluster.int_regs // 2  # 32
+        _charge(pol, 0, 0, 0, share)
+        assert not pol.may_alloc_reg(0, 0, 0)
+        assert pol.may_alloc_reg(0, 0, 1)  # other cluster's file open
+        assert pol.may_alloc_reg(0, 1, 0)  # other class open
+        assert pol.may_alloc_reg(1, 0, 0)  # other thread open
+
+    def test_free_restores_headroom(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "cssprf")
+        pol = proc.policy
+        share = config.cluster.int_regs // 2
+        _charge(pol, 0, 0, 0, share)
+        pol.on_reg_free(0, 0, 0)
+        assert pol.may_alloc_reg(0, 0, 0)
+
+    def test_double_free_asserts(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "cssprf")
+        pol = proc.policy
+        pol.on_reg_alloc(0, 0, 0)
+        pol.on_reg_free(0, 0, 0)
+        with pytest.raises(AssertionError):
+            pol.on_reg_free(0, 0, 0)
+
+
+class TestCISPRF:
+    def test_half_of_total_any_cluster(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "cisprf")
+        pol = proc.policy
+        total_share = 2 * config.cluster.int_regs // 2  # 64 of 128
+        _charge(pol, 0, 0, 0, total_share - 1)
+        assert pol.may_alloc_reg(0, 0, 0)
+        _charge(pol, 0, 0, 1, 1)
+        assert not pol.may_alloc_reg(0, 0, 0)
+        assert not pol.may_alloc_reg(0, 0, 1)  # cluster-insensitive
+        assert pol.may_alloc_reg(0, 1, 0)      # fp class independent
+
+    def test_iq_handling_is_still_cssp(self, config, ilp_trace, mem_trace):
+        # CISPRF layers register control on top of CSSP's IQ control
+        from repro.policies.static_partition import CSSPPolicy
+
+        proc = _proc(config, [ilp_trace, mem_trace], "cisprf")
+        assert isinstance(proc.policy, CSSPPolicy)
+
+
+@pytest.mark.parametrize("policy", ["cssprf", "cisprf"])
+def test_end_to_end_completion(config, ilp_trace, fp_trace, policy):
+    proc = _proc(config, [ilp_trace, fp_trace], policy)
+    while not proc.all_done() and proc.cycle < 300_000:
+        proc.step()
+    assert proc.all_done()
+
+
+@pytest.mark.parametrize("policy", ["cssprf", "cisprf"])
+def test_usage_counters_return_to_zero(config, ilp_trace, fp_trace, policy):
+    proc = _proc(config, [ilp_trace, fp_trace], policy)
+    while not proc.all_done() and proc.cycle < 300_000:
+        proc.step()
+    pol = proc.policy
+    # registers still held belong to live architectural mappings only
+    for tid, thread in enumerate(proc.threads):
+        live = [0, 0]
+        from repro.isa import NO_REG
+
+        for arch, m in thread.rename_table.live_mappings():
+            k = 0 if arch < 16 else 1
+            live[k] += 1 + (1 if m.replica != NO_REG else 0)
+        for k in (0, 1):
+            assert pol.total_usage(tid, k) == live[k]

@@ -1,0 +1,52 @@
+"""Policy registry tests."""
+
+import pytest
+
+from repro.policies import POLICY_NAMES, make_policy
+from repro.policies.base import ResourcePolicy
+
+
+def test_all_paper_schemes_registered():
+    assert set(POLICY_NAMES) == {
+        # Table 3 + Table 4 + the proposal
+        "icount",
+        "stall",
+        "flush+",
+        "cisp",
+        "cssp",
+        "cspsp",
+        "pc",
+        "cssprf",
+        "cisprf",
+        "cdprf",
+        # future-work extensions ([30], [32] adapted to clusters)
+        "dcra",
+        "hillclimb",
+    }
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+def test_factory_builds_each(name):
+    pol = make_policy(name)
+    assert isinstance(pol, ResourcePolicy)
+    assert pol.name == name
+
+
+def test_case_insensitive():
+    assert make_policy("CSSP").name == "cssp"
+    assert make_policy("Flush+").name == "flush+"
+
+
+def test_unknown_rejected():
+    with pytest.raises(KeyError, match="unknown policy"):
+        make_policy("nope")
+
+
+def test_kwargs_forwarded():
+    pol = make_policy("cdprf", interval=4096)
+    assert pol.interval == 4096
+
+
+def test_describe_mentions_name():
+    for name in POLICY_NAMES:
+        assert name in make_policy(name).describe()

@@ -1,0 +1,95 @@
+"""Stall and Flush+ policy semantics."""
+
+from repro.core.processor import Processor
+from repro.isa import Uop, UopClass
+from repro.policies import make_policy
+
+
+def _proc(config, traces, policy):
+    return Processor(config, make_policy(policy), list(traces))
+
+
+def _fake_missing_load(tid, age=100):
+    u = Uop(tid, UopClass.LOAD, dest=1, src1=0)
+    u.age = age
+    u.l2_miss = True
+    return u
+
+
+class TestStall:
+    def test_gates_on_miss_ungated_on_fill(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "stall")
+        pol = proc.policy
+        u = _fake_missing_load(1)
+        proc.threads[1].l2_pending = 1
+        pol.on_l2_miss(u)
+        assert proc.threads[1].gated
+        pol.on_l2_fill(1)
+        assert not proc.threads[1].gated
+
+    def test_gated_thread_not_selected(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "stall")
+        for _ in range(12):
+            proc.step()
+        proc.threads[0].gated = True
+        chosen = proc.policy.rename_select(proc.cycle)
+        assert chosen is None or chosen.tid == 1
+
+    def test_end_to_end_gating_happens(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "stall")
+        while not proc.all_done() and proc.cycle < 300_000:
+            proc.step()
+        assert proc.all_done()
+        assert proc.stats.stalled_thread_cycles > 0
+
+
+class TestFlushPlus:
+    def test_sole_misser_is_flushed(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "flush+")
+        while proc.stats.flushes == 0 and proc.cycle < 300_000:
+            proc.step()
+        assert proc.stats.flushes > 0
+
+    def test_flushed_thread_resumes_and_finishes(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "flush+")
+        while not proc.all_done() and proc.cycle < 400_000:
+            proc.step()
+        assert proc.all_done()
+        assert proc.threads[0].committed == len(ilp_trace)
+        assert proc.threads[1].committed == len(mem_trace)
+
+    def test_first_misser_continues_when_second_misses(
+        self, config, mem_trace, ilp_trace
+    ):
+        proc = _proc(config, [mem_trace, ilp_trace], "flush+")
+        pol = proc.policy
+        t0, t1 = proc.threads
+        # thread 0 missed first and was flushed
+        t0.l2_pending = 1
+        t0.first_l2_miss_cycle = 10
+        t0.flushed = True
+        # now thread 1 misses too
+        t1.l2_pending = 1
+        t1.first_l2_miss_cycle = 50
+        u = _fake_missing_load(1)
+        t1.inflight.append(u)
+        pol.on_l2_miss(u)
+        assert not t0.flushed  # earliest misser resumed
+        assert t1.flushed      # latest misser flushed
+
+    def test_fill_clears_flush(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "flush+")
+        proc.threads[1].flushed = True
+        proc.policy.on_l2_fill(1)
+        assert not proc.threads[1].flushed
+
+    def test_flush_releases_resources(self, config, mem_trace, ilp_trace):
+        """After a flush, the thread's IQ footprint collapses to at most
+        the un-squashed prefix."""
+        proc = _proc(config, [mem_trace, ilp_trace], "flush+")
+        while proc.stats.flushes == 0 and proc.cycle < 300_000:
+            proc.step()
+        flushed = [t for t in proc.threads if t.flushed]
+        if flushed:  # flush may have resolved already
+            t = flushed[0]
+            assert not t.fetch_queue  # queue drained by the flush

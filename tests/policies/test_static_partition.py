@@ -1,0 +1,116 @@
+"""Static IQ partition scheme tests (CISP/CSSP/CSPSP/PC semantics)."""
+
+import pytest
+
+from repro.core.processor import Processor
+from repro.isa import Uop, UopClass
+from repro.policies import make_policy
+
+
+def _proc(config, traces, policy):
+    return Processor(config, make_policy(policy), list(traces))
+
+
+def _occupy(proc, cluster, tid, n):
+    """Force n parked IQ entries for (tid, cluster)."""
+    for i in range(n):
+        u = Uop(tid, UopClass.INT_ALU)
+        u.age = 10_000 + cluster * 1000 + i
+        u.wait_count = 1
+        u.cluster = cluster
+        proc.clusters[cluster].iq.dispatch(u)
+
+
+class TestCISP:
+    def test_limits_total_across_clusters(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "cisp")
+        total_share = sum(c.iq.capacity for c in proc.clusters) // 2  # 32 of 64
+        _occupy(proc, 0, 0, 30)
+        assert proc.policy.may_dispatch(0, 1)
+        _occupy(proc, 1, 0, 2)
+        assert not proc.policy.may_dispatch(0, 0)
+        assert not proc.policy.may_dispatch(0, 1)  # cluster-insensitive
+        assert proc.policy.may_dispatch(1, 0)  # other thread unaffected
+
+    def test_single_thread_gets_half(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "cisp")
+        _occupy(proc, 0, 0, 32)
+        assert not proc.policy.may_dispatch(0, 1)
+
+
+class TestCSSP:
+    def test_limits_per_cluster(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "cssp")
+        share = proc.clusters[0].iq.capacity // 2  # 16
+        _occupy(proc, 0, 0, share)
+        assert not proc.policy.may_dispatch(0, 0)
+        assert proc.policy.may_dispatch(0, 1)  # other cluster still open
+        assert proc.policy.may_dispatch(1, 0)  # other thread's half intact
+
+    def test_single_thread_config_unrestricted(self, config, ilp_trace):
+        proc = _proc(config.with_threads(1), [ilp_trace], "cssp")
+        _occupy(proc, 0, 0, 20)
+        assert proc.policy.may_dispatch(0, 0)  # share = full capacity
+
+
+class TestCSPSP:
+    def test_quarter_guaranteed(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "cspsp")
+        reserved = proc.clusters[0].iq.capacity // 4  # 8
+        _occupy(proc, 0, 0, reserved - 1)
+        assert proc.policy.may_dispatch(0, 0)
+
+    def test_shared_pool_compete(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "cspsp")
+        cap = proc.clusters[0].iq.capacity  # 32
+        reserved = cap // 4  # 8 per thread; shared pool = 16
+        # thread 0 takes its reservation plus the whole shared pool
+        _occupy(proc, 0, 0, reserved + (cap - 2 * reserved))
+        assert not proc.policy.may_dispatch(0, 0)
+        # thread 1 can still use its reserved entries
+        assert proc.policy.may_dispatch(1, 0)
+        _occupy(proc, 0, 1, reserved)
+        assert not proc.policy.may_dispatch(1, 0)  # pool exhausted by t0
+
+    def test_below_reservation_always_ok(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "cspsp")
+        cap = proc.clusters[0].iq.capacity
+        # other thread floods everything it can
+        _occupy(proc, 0, 1, cap // 4 + (cap - 2 * (cap // 4)))
+        assert proc.policy.may_dispatch(0, 0)
+
+
+class TestPrivateClusters:
+    def test_thread_bound_to_own_cluster(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "pc")
+        assert proc.policy.may_dispatch(0, 0)
+        assert not proc.policy.may_dispatch(0, 1)
+        assert proc.policy.may_dispatch(1, 1)
+        assert not proc.policy.may_dispatch(1, 0)
+        assert proc.policy.forced_cluster(0) == 0
+        assert proc.policy.forced_cluster(1) == 1
+
+    def test_pc_generates_no_copies(self, config, ilp_trace, mem_trace):
+        proc = _proc(config, [ilp_trace, mem_trace], "pc")
+        while not proc.all_done() and proc.cycle < 200_000:
+            proc.step()
+        assert proc.all_done()
+        assert proc.stats.copies_renamed == 0
+
+
+@pytest.mark.parametrize("policy", ["cisp", "cssp", "cspsp"])
+def test_partitions_cap_runtime_occupancy(config, ilp_trace, mem_trace, policy):
+    """During a real run, a thread never exceeds its static share."""
+    proc = _proc(config, [ilp_trace, mem_trace], policy)
+    cap = proc.clusters[0].iq.capacity
+    total_cap = 2 * cap
+    for _ in range(4000):
+        proc.step()
+        for tid in (0, 1):
+            per_cluster = [c.iq.per_thread[tid] for c in proc.clusters]
+            if policy == "cssp":
+                assert max(per_cluster) <= cap // 2
+            elif policy == "cisp":
+                assert sum(per_cluster) <= total_cap // 2
+        if proc.all_done():
+            break

@@ -1,0 +1,106 @@
+"""Configuration (Table 1) tests."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    ProcessorConfig,
+    TLBConfig,
+    baseline_config,
+)
+
+
+def test_baseline_matches_table1():
+    cfg = baseline_config()
+    assert cfg.front_end.fetch_width == 6
+    assert cfg.front_end.commit_width == 6
+    assert cfg.front_end.mispredict_pipeline == 14
+    assert cfg.rob_entries_per_thread == 128
+    assert cfg.front_end.gshare_entries == 32 * 1024
+    assert cfg.front_end.indirect_entries == 4096
+    assert cfg.front_end.trace_cache_uops == 32 * 1024
+    assert cfg.num_clusters == 2
+    assert cfg.cluster.iq_entries == 32
+    assert cfg.cluster.int_regs == 64
+    assert cfg.cluster.fp_regs == 64
+    assert cfg.cluster.num_ports == 3
+    assert cfg.memory.mob_entries == 128
+    assert cfg.memory.l1.size_bytes == 32 * 1024
+    assert cfg.memory.l1.assoc == 2
+    assert cfg.memory.l1.hit_latency == 1
+    assert cfg.memory.l2.size_bytes == 4 * 1024 * 1024
+    assert cfg.memory.l2.assoc == 8
+    assert cfg.memory.l2.hit_latency == 12
+    assert cfg.memory.memory_latency == 60
+    assert cfg.memory.l1_l2_buses == 2
+    assert cfg.num_links == 2
+    assert cfg.link_latency == 1
+    assert cfg.memory.dtlb.entries == 1024 and cfg.memory.dtlb.assoc == 8
+    assert cfg.memory.itlb.entries == 1024 and cfg.memory.itlb.assoc == 8
+
+
+def test_with_iq_entries():
+    cfg = baseline_config().with_iq_entries(64)
+    assert cfg.cluster.iq_entries == 64
+    assert baseline_config().cluster.iq_entries == 32  # original frozen
+
+
+def test_with_regs():
+    cfg = baseline_config().with_regs(128)
+    assert cfg.cluster.int_regs == 128
+    assert cfg.cluster.fp_regs == 128
+    cfg2 = baseline_config().with_regs(96, 80)
+    assert (cfg2.cluster.int_regs, cfg2.cluster.fp_regs) == (96, 80)
+
+
+def test_with_threads():
+    assert baseline_config().with_threads(1).num_threads == 1
+
+
+def test_digest_stable_and_sensitive():
+    a = baseline_config()
+    assert a.digest() == baseline_config().digest()
+    assert a.digest() != a.with_iq_entries(64).digest()
+    assert a.digest() != a.with_threads(1).digest()
+    import dataclasses
+
+    assert a.digest() != dataclasses.replace(a, model_wrong_path=False).digest()
+
+
+def test_describe_covers_table1_rows():
+    text = baseline_config().describe()
+    for needle in (
+        "Fetch width",
+        "Misprediction pipeline",
+        "Issue queue size per cluster",
+        "Int physical registers",
+        "L2 size",
+        "Memory latency",
+        "Point to point links",
+    ):
+        assert needle in text
+
+
+def test_baseline_overrides():
+    cfg = baseline_config(unbounded_regs=True)
+    assert cfg.unbounded_regs
+    assert not baseline_config().unbounded_regs
+
+
+def test_cache_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, assoc=3)
+
+
+def test_tlb_sets():
+    assert TLBConfig(entries=1024, assoc=8).num_sets == 128
+
+
+def test_config_hashable():
+    {baseline_config(): 1}  # frozen dataclasses must hash
+
+
+def test_defaults_are_immutable():
+    cfg = ProcessorConfig()
+    with pytest.raises(Exception):
+        cfg.num_threads = 4  # type: ignore[misc]

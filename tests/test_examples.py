@@ -1,0 +1,49 @@
+"""The example scripts must stay runnable (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, argv: list[str] | None = None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "scheme_shootout.py",
+        "fairness_analysis.py",
+        "custom_workload.py",
+    } <= names
+
+
+@pytest.mark.slow
+def test_quickstart_runs(capsys):
+    _run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "CDPRF speedup over Icount" in out
+
+
+@pytest.mark.slow
+def test_scheme_shootout_runs(capsys):
+    _run_example("scheme_shootout.py", ["DH"])
+    out = capsys.readouterr().out
+    assert "cssp" in out and "icount" in out
+
+
+@pytest.mark.slow
+def test_custom_workload_runs(capsys):
+    _run_example("custom_workload.py")
+    out = capsys.readouterr().out
+    assert "partner frac_fp" in out

@@ -1,0 +1,145 @@
+"""Failure-injection tests: adversarial events against pipeline exactness.
+
+The squash machinery (branch resolution + Flush+) is the most invariant-
+critical code in the simulator: it must undo rename state *exactly* under
+any interleaving.  These tests force flushes, gates and un-gates at
+arbitrary points of real runs and assert the architecture still commits
+every instruction exactly once with no resource leaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import baseline_config
+from repro.core.processor import Processor
+from repro.isa import NO_REG
+from repro.policies import make_policy
+from repro.trace.synthesis import TraceProfile, generate_trace
+
+
+def _traces(seed=5, n=2500):
+    prof_a = TraceProfile(
+        name="fi-a", frac_branch=0.12, dep_locality=0.45, working_set_lines=400
+    )
+    prof_b = TraceProfile(
+        name="fi-b", frac_branch=0.1, frac_fp=0.4, dep_locality=0.4,
+        working_set_lines=120_000, load_dep_chain=0.3,
+    )
+    return [
+        generate_trace(prof_a, seed=seed, n_uops=n, kind="ilp"),
+        generate_trace(prof_b, seed=seed + 1, n_uops=n, kind="mem"),
+    ]
+
+
+def _assert_exact_finish(proc: Processor, lengths: list[int]) -> None:
+    assert proc.all_done()
+    assert proc.stats.committed_per_thread == lengths
+    assert proc.mob.occupancy == 0
+    for cl in proc.clusters:
+        assert cl.iq.occupancy == 0
+        assert cl.iq.per_thread == [0] * proc.config.num_threads
+    expected = [[0, 0], [0, 0]]
+    for t in proc.threads:
+        assert len(t.rob) == 0 and not t.inflight and t.icount == 0
+        for arch, m in t.rename_table.live_mappings():
+            k = 0 if arch < 16 else 1
+            expected[m.cluster][k] += 1
+            if m.replica != NO_REG:
+                expected[1 - m.cluster][k] += 1
+    for c, cl in enumerate(proc.clusters):
+        for k in (0, 1):
+            assert cl.regs[k].in_use == expected[c][k]
+
+
+@given(
+    flush_points=st.lists(st.integers(50, 4000), min_size=1, max_size=6, unique=True),
+    victim=st.integers(0, 1),
+)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_forced_flushes_preserve_exactness(flush_points, victim):
+    """Flushing an arbitrary thread at arbitrary cycles never corrupts
+    architectural bookkeeping — the run still finishes exactly."""
+    traces = _traces()
+    proc = Processor(baseline_config(), make_policy("icount"), traces)
+    points = sorted(flush_points)
+    while not proc.all_done() and proc.cycle < 200_000:
+        proc.step()
+        if points and proc.cycle >= points[0]:
+            points.pop(0)
+            thread = proc.threads[victim]
+            if thread.inflight:
+                # flush everything younger than the current oldest uop
+                proc.flush_thread(thread, keep_age=thread.inflight[0].age)
+                thread.flushed = False  # immediately resume (worst case)
+    _assert_exact_finish(proc, [len(t) for t in traces])
+
+
+@given(
+    gate_spans=st.lists(
+        st.tuples(st.integers(100, 3000), st.integers(10, 400)),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_gating_preserves_exactness(gate_spans):
+    """Arbitrarily gating/un-gating rename (Stall-style) cannot wedge or
+    corrupt the machine."""
+    traces = _traces(seed=11)
+    proc = Processor(baseline_config(), make_policy("icount"), traces)
+    events = sorted((start, start + dur) for start, dur in gate_spans)
+    while not proc.all_done() and proc.cycle < 250_000:
+        proc.step()
+        for start, end in events:
+            if start <= proc.cycle < end:
+                proc.threads[proc.cycle % 2].gated = True
+            elif proc.cycle == end:
+                for t in proc.threads:
+                    t.gated = False
+    for t in proc.threads:
+        t.gated = False
+    while not proc.all_done() and proc.cycle < 400_000:
+        proc.step()
+    _assert_exact_finish(proc, [len(t) for t in traces])
+
+
+def test_flush_storm():
+    """Flush a thread every 100 cycles for the whole run (far harsher than
+    Flush+ would): forward progress and exactness must survive."""
+    traces = _traces(seed=23, n=1500)
+    proc = Processor(baseline_config(), make_policy("icount"), traces)
+    while not proc.all_done() and proc.cycle < 400_000:
+        proc.step()
+        if proc.cycle % 100 == 0:
+            thread = proc.threads[(proc.cycle // 100) % 2]
+            if thread.inflight:
+                proc.flush_thread(thread, keep_age=thread.inflight[0].age)
+                thread.flushed = False
+    _assert_exact_finish(proc, [len(t) for t in traces])
+
+
+def test_alternating_flush_and_mispredict_interaction():
+    """Flushes landing while a thread is in wrong-path mode must reset its
+    speculation state consistently (the branch may be squashed)."""
+    prof = TraceProfile(
+        name="branchy", frac_branch=0.2, branch_bias=0.75, dep_locality=0.4
+    )
+    traces = [
+        generate_trace(prof, seed=31, n_uops=1500, kind="ilp"),
+        generate_trace(prof, seed=32, n_uops=1500, kind="ilp"),
+    ]
+    proc = Processor(baseline_config(), make_policy("icount"), traces)
+    while not proc.all_done() and proc.cycle < 300_000:
+        proc.step()
+        if proc.cycle % 73 == 0:
+            for thread in proc.threads:
+                if thread.wrong_path and thread.inflight:
+                    proc.flush_thread(thread, keep_age=thread.inflight[0].age)
+                    thread.flushed = False
+    _assert_exact_finish(proc, [1500, 1500])

@@ -1,0 +1,145 @@
+"""Cross-module integration tests: paper-shape checks at test scale.
+
+These run small (seconds-long) versions of the paper's key comparisons and
+assert the *directional* results the full benchmarks verify at scale.
+"""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.core.simulator import run_simulation, run_single_thread, run_workload
+from repro.trace.categories import category_profile
+from repro.trace.synthesis import generate_trace
+from repro.trace.workloads import build_pool
+
+
+@pytest.fixture(scope="module")
+def mix_pair():
+    """An ILP thread plus a memory-bounded thread (the starvation scenario)."""
+    ilp = generate_trace(
+        category_profile("ISPEC00", "ilp"), seed=5, n_uops=6000, kind="ilp"
+    )
+    mem = generate_trace(
+        category_profile("server", "mem"), seed=7, n_uops=6000, kind="mem"
+    )
+    return [ilp, mem]
+
+
+@pytest.fixture(scope="module")
+def fig2_cfg():
+    return baseline_config(unbounded_regs=True, unbounded_rob=True)
+
+
+def _run(cfg, policy, traces, **kw):
+    kw.setdefault("warmup_uops", 1500)
+    kw.setdefault("prewarm_caches", True)
+    return run_simulation(cfg, policy, list(traces), **kw)
+
+
+class TestPaperShapes:
+    def test_partitioning_beats_icount_on_mix(self, fig2_cfg, mix_pair):
+        """Section 5.1: static IQ partitions protect the ILP thread."""
+        icount = _run(fig2_cfg, "icount", mix_pair)
+        cssp = _run(fig2_cfg, "cssp", mix_pair)
+        assert cssp.ipc > icount.ipc
+
+    def test_pc_trails_cssp_on_mix(self, fig2_cfg, mix_pair):
+        """Section 5.1: private clusters waste the other cluster's ports."""
+        cssp = _run(fig2_cfg, "cssp", mix_pair)
+        pc = _run(fig2_cfg, "pc", mix_pair)
+        assert pc.ipc < cssp.ipc
+
+    def test_pc_has_zero_copies_others_communicate(self, fig2_cfg, mix_pair):
+        pc = _run(fig2_cfg, "pc", mix_pair)
+        cssp = _run(fig2_cfg, "cssp", mix_pair)
+        assert pc.stats["copies_per_committed"] == 0.0
+        assert cssp.stats["copies_per_committed"] > 0.01
+
+    def test_stall_prevents_iq_stalls(self, fig2_cfg, mix_pair):
+        """Figure 4: Stall is the most effective at avoiding queue-full."""
+        icount = _run(fig2_cfg, "icount", mix_pair)
+        stall = _run(fig2_cfg, "stall", mix_pair)
+        assert (
+            stall.stats["iq_stalls_per_committed"]
+            < icount.stats["iq_stalls_per_committed"] * 0.5
+        )
+
+    def test_flush_plus_flushes_on_mem_workload(self, fig2_cfg, mix_pair):
+        flush = _run(fig2_cfg, "flush+", mix_pair)
+        assert flush.stats["flushes"] > 0
+
+    def test_bigger_iq_lifts_icount(self, mix_pair):
+        cfg32 = baseline_config(
+            unbounded_regs=True, unbounded_rob=True
+        ).with_iq_entries(32)
+        cfg64 = cfg32.with_iq_entries(64)
+        a = _run(cfg32, "icount", mix_pair)
+        b = _run(cfg64, "icount", mix_pair)
+        assert b.ipc > a.ipc * 0.98  # more entries never hurt much
+
+
+class TestRegisterFileShapes:
+    def test_static_rf_partition_hurts_disjoint_pair(self):
+        """Section 5.2: ISPEC-FSPEC loses under static RF partitioning."""
+        cfg = baseline_config()
+        ispec = generate_trace(
+            category_profile("ISPEC00", "mem"), seed=3, n_uops=6000, kind="mem"
+        )
+        fspec = generate_trace(
+            category_profile("FSPEC00", "mem"), seed=4, n_uops=6000, kind="mem"
+        )
+        cssp = _run(cfg, "cssp", [ispec, fspec])
+        cssprf = _run(cfg, "cssprf", [ispec, fspec])
+        assert cssprf.ipc <= cssp.ipc * 1.02
+
+    def test_cdprf_recovers_static_partition_loss(self):
+        cfg = baseline_config()
+        ispec = generate_trace(
+            category_profile("ISPEC00", "mem"), seed=3, n_uops=6000, kind="mem"
+        )
+        fspec = generate_trace(
+            category_profile("FSPEC00", "mem"), seed=4, n_uops=6000, kind="mem"
+        )
+        from repro.policies import make_policy
+
+        cssprf = _run(cfg, "cssprf", [ispec, fspec])
+        cdprf = _run(cfg, make_policy("cdprf", interval=1024), [ispec, fspec])
+        assert cdprf.ipc >= cssprf.ipc * 0.98
+
+
+class TestMethodology:
+    def test_single_thread_faster_than_shared(self, mix_pair):
+        """Co-running can only slow a thread down."""
+        cfg = baseline_config()
+        st = run_single_thread(cfg, mix_pair[0], warmup_uops=1000,
+                               prewarm_caches=True)
+        mt = _run(cfg, "icount", mix_pair)
+        assert mt.thread_ipc(0) <= st.ipc * 1.05
+
+    def test_pool_end_to_end_small(self):
+        """A whole (tiny) pool simulates without incident."""
+        cfg = baseline_config()
+        pool = build_pool(n_uops=1200, n_ilp=1, n_mem=0, n_mix=1,
+                          n_mixes_category=1)
+        for wl in pool:
+            res = run_workload(cfg, "cdprf", wl, max_cycles=100_000)
+            assert res.committed > 0
+
+    def test_mem_trace_is_memory_bound(self):
+        """MEM traces must actually be memory-bound (low IPC, L2 misses)."""
+        cfg = baseline_config()
+        mem = generate_trace(
+            category_profile("server", "mem"), seed=9, n_uops=5000, kind="mem"
+        )
+        res = run_single_thread(cfg, mem, warmup_uops=1000, prewarm_caches=True)
+        assert res.ipc < 1.0
+        assert res.stats["extra"]["l2_misses"] > 50
+
+    def test_ilp_trace_is_compute_bound(self):
+        cfg = baseline_config()
+        ilp = generate_trace(
+            category_profile("DH", "ilp"), seed=9, n_uops=5000, kind="ilp"
+        )
+        res = run_single_thread(cfg, ilp, warmup_uops=1000, prewarm_caches=True)
+        assert res.ipc > 1.5
+        assert res.stats["extra"]["l2_misses"] == 0

@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These cover the structures whose correctness the whole simulation rests on:
+the LRU cache, the physical register free lists, the issue queue's
+oldest-first select, the rename table's define/undo symmetry, the fairness
+metric's bounds, and — most importantly — end-to-end pipeline invariants
+under randomly generated trace profiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backend.issue import IssueQueue
+from repro.backend.regfile import PhysRegFile
+from repro.config import baseline_config
+from repro.core.processor import Processor
+from repro.frontend.rename import RenameTable
+from repro.isa import NO_REG, NUM_ARCH_REGS, RegClass, Uop, UopClass
+from repro.memory.cache import SetAssocCache
+from repro.metrics.fairness import fairness
+from repro.policies import POLICY_NAMES, make_policy
+from repro.trace.synthesis import TraceProfile, generate_trace
+
+# --------------------------------------------------------------------------- #
+# cache                                                                        #
+# --------------------------------------------------------------------------- #
+
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=300),
+    assoc=st.sampled_from([1, 2, 4, 8]),
+)
+def test_cache_capacity_invariant(lines, assoc):
+    cache = SetAssocCache.from_geometry(num_sets=4, assoc=assoc)
+    for line in lines:
+        cache.access(line)
+        assert cache.occupancy() <= 4 * assoc
+    # most recently accessed line is always resident
+    assert cache.probe(lines[-1])
+
+
+@given(lines=st.lists(st.integers(0, 50), min_size=2, max_size=100))
+def test_cache_hits_plus_misses_equals_accesses(lines):
+    cache = SetAssocCache.from_geometry(num_sets=2, assoc=2)
+    for line in lines:
+        cache.access(line)
+    assert cache.hits + cache.misses == len(lines)
+
+
+# --------------------------------------------------------------------------- #
+# register file                                                                #
+# --------------------------------------------------------------------------- #
+
+@given(ops=st.lists(st.booleans(), min_size=1, max_size=200))
+def test_regfile_free_list_conservation(ops):
+    """Random alloc/free interleavings never lose or duplicate registers."""
+    f = PhysRegFile(0, RegClass.INT, 16)
+    held: list[int] = []
+    for do_alloc in ops:
+        if do_alloc and f.can_alloc():
+            p = f.alloc()
+            assert p not in held
+            held.append(p)
+        elif held:
+            f.free(held.pop())
+        assert f.in_use == len(held)
+        assert f.in_use + f.free_count == f.capacity
+
+
+# --------------------------------------------------------------------------- #
+# issue queue                                                                  #
+# --------------------------------------------------------------------------- #
+
+@given(ages=st.lists(st.integers(0, 10_000), min_size=1, max_size=60, unique=True))
+def test_issue_queue_selects_in_age_order(ages):
+    iq = IssueQueue(0, capacity=64, num_threads=1)
+    for age in ages:
+        u = Uop(0, UopClass.INT_ALU)
+        u.age = age
+        u.cluster = 0
+        iq.dispatch(u)
+    issued, passed = iq.select(64, lambda u: True)
+    assert [u.age for u in issued] == sorted(ages)
+    assert passed == []
+    assert iq.occupancy == len(ages)  # release happens at issue, by caller
+
+
+# --------------------------------------------------------------------------- #
+# rename table                                                                 #
+# --------------------------------------------------------------------------- #
+
+@given(
+    steps=st.lists(
+        st.tuples(
+            st.integers(0, NUM_ARCH_REGS - 1),  # arch reg
+            st.integers(0, 1),                  # cluster
+            st.integers(0, 63),                 # phys
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_rename_define_undo_symmetry(steps):
+    """Applying defines then undoing them in reverse restores the table."""
+    table = RenameTable()
+    before = [table.lookup(a) for a in range(NUM_ARCH_REGS)]
+    prevs = [(a, table.define(a, c, p)) for a, c, p in steps]
+    for arch, prev in reversed(prevs):
+        table.undo_define(arch, prev)
+    after = [table.lookup(a) for a in range(NUM_ARCH_REGS)]
+    assert before == after
+
+
+# --------------------------------------------------------------------------- #
+# fairness                                                                     #
+# --------------------------------------------------------------------------- #
+
+@given(
+    mt=st.lists(st.floats(0.01, 10.0), min_size=2, max_size=4),
+    st_scale=st.floats(0.1, 10.0),
+)
+def test_fairness_bounds_and_scale_invariance(mt, st_scale):
+    refs = [2.0 * st_scale] * len(mt)
+    f = fairness(mt, refs)
+    assert 0.0 <= f <= 1.0
+    # scaling all MT IPCs equally does not change fairness
+    f2 = fairness([m * 3.0 for m in mt], refs)
+    assert abs(f - f2) < 1e-9
+
+
+@given(progress=st.floats(0.01, 1.0))
+def test_fairness_one_iff_equal_progress(progress):
+    f = fairness([progress, progress], [1.0, 1.0])
+    assert abs(f - 1.0) < 1e-12
+
+
+# --------------------------------------------------------------------------- #
+# trace generator                                                              #
+# --------------------------------------------------------------------------- #
+
+_profiles = st.builds(
+    TraceProfile,
+    frac_load=st.floats(0.05, 0.3),
+    frac_store=st.floats(0.02, 0.15),
+    frac_branch=st.floats(0.03, 0.2),
+    frac_fp=st.floats(0.0, 0.8),
+    dep_mean_distance=st.floats(1.5, 16.0),
+    dep_locality=st.floats(0.1, 0.9),
+    working_set_lines=st.integers(16, 5000),
+    stride_frac=st.floats(0.0, 1.0),
+    load_dep_chain=st.floats(0.0, 0.5),
+    branch_bias=st.floats(0.6, 0.99),
+    n_blocks=st.integers(4, 64),
+    int_regs_used=st.integers(4, 14),
+    fp_regs_used=st.integers(4, 14),
+)
+
+
+@given(profile=_profiles, seed=st.integers(0, 2**20))
+@settings(max_examples=25, deadline=None)
+def test_generated_traces_always_valid(profile, seed):
+    trace = generate_trace(profile, seed=seed, n_uops=400)
+    trace.validate()
+    assert len(trace) == 400
+    # determinism
+    again = generate_trace(profile, seed=seed, n_uops=400)
+    assert np.array_equal(trace.records, again.records)
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end pipeline invariants under random workloads                        #
+# --------------------------------------------------------------------------- #
+
+@given(
+    profile=_profiles,
+    seed=st.integers(0, 2**16),
+    policy=st.sampled_from(POLICY_NAMES),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_pipeline_completes_and_drains(profile, seed, policy):
+    """Any generated workload, any policy: the machine commits everything
+    exactly once and all shared structures drain."""
+    traces = [
+        generate_trace(profile, seed=seed, n_uops=500),
+        generate_trace(profile, seed=seed + 1, n_uops=500),
+    ]
+    proc = Processor(baseline_config(), make_policy(policy), traces)
+    while not proc.all_done() and proc.cycle < 150_000:
+        proc.step()
+    assert proc.all_done()
+    assert proc.stats.committed_per_thread == [500, 500]
+    assert proc.mob.occupancy == 0
+    for cl in proc.clusters:
+        assert cl.iq.occupancy == 0
+    for t in proc.threads:
+        assert len(t.rob) == 0 and not t.inflight and t.icount == 0
+    # no register leaks beyond live architectural mappings
+    expected = [[0, 0], [0, 0]]
+    for t in proc.threads:
+        for arch, m in t.rename_table.live_mappings():
+            k = 0 if arch < 16 else 1
+            expected[m.cluster][k] += 1
+            if m.replica != NO_REG:
+                expected[1 - m.cluster][k] += 1
+    for c, cl in enumerate(proc.clusters):
+        for k in (0, 1):
+            assert cl.regs[k].in_use == expected[c][k]

@@ -1,0 +1,72 @@
+"""Category profile (Table 2) tests."""
+
+import pytest
+
+from repro.trace.categories import (
+    CATEGORIES,
+    CATEGORY_PROFILES,
+    WorkloadType,
+    category_profile,
+)
+
+
+def test_all_eleven_categories_present():
+    assert len(CATEGORIES) == 11
+    assert "ISPEC-FSPEC" in CATEGORIES and "mixes" in CATEGORIES
+
+
+def test_pairing_categories_have_no_single_profile():
+    for cat in ("ISPEC-FSPEC", "mixes"):
+        assert cat not in CATEGORY_PROFILES
+        with pytest.raises(KeyError):
+            category_profile(cat, "ilp")
+
+
+def test_profiles_validate():
+    for ilp, mem in CATEGORY_PROFILES.values():
+        ilp.validate()
+        mem.validate()
+
+
+def test_ilp_variants_are_cache_resident():
+    # L2 is 64K lines; ILP working sets must fit comfortably
+    for name in CATEGORY_PROFILES:
+        prof = category_profile(name, "ilp")
+        assert prof.working_set_lines <= 1024, name
+
+
+def test_mem_variants_exceed_l2():
+    l2_lines = (4 * 1024 * 1024) // 64
+    for name in CATEGORY_PROFILES:
+        prof = category_profile(name, "mem")
+        assert prof.working_set_lines >= l2_lines, name
+
+
+def test_ilp_more_parallel_than_mem():
+    for name in CATEGORY_PROFILES:
+        ilp = category_profile(name, "ilp")
+        mem = category_profile(name, "mem")
+        assert ilp.dep_locality <= mem.dep_locality, name
+        assert ilp.dep_mean_distance >= mem.dep_mean_distance, name
+        assert ilp.load_dep_chain <= mem.load_dep_chain, name
+
+
+def test_ispec_is_integer_only():
+    prof = category_profile("ISPEC00", "ilp")
+    assert prof.frac_fp == 0.0
+    assert prof.int_regs_used > prof.fp_regs_used
+
+
+def test_fspec_is_fp_dominant():
+    prof = category_profile("FSPEC00", "ilp")
+    assert prof.frac_fp >= 0.5
+    assert prof.fp_regs_used > prof.int_regs_used
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(ValueError):
+        category_profile("DH", "mix")
+
+
+def test_workload_type_values():
+    assert {t.value for t in WorkloadType} == {"ilp", "mem", "mix"}

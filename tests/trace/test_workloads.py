@@ -1,0 +1,96 @@
+"""Workload pool (Table 2 structure) tests."""
+
+import pytest
+
+from repro.trace.categories import WorkloadType
+from repro.trace.workloads import Workload, build_pool
+
+# a tiny pool shared by the tests in this module
+@pytest.fixture(scope="module")
+def pool():
+    return build_pool(n_uops=500, n_ilp=1, n_mem=1, n_mix=1, n_mixes_category=3)
+
+
+def test_pool_structure(pool):
+    cats = pool.categories()
+    assert len(cats) == 11
+    for cat in cats:
+        ws = pool.by_category(cat)
+        if cat == "mixes":
+            assert len(ws) == 3
+        else:
+            assert len(ws) == 3  # 1 ILP + 1 MEM + 1 MIX
+
+
+def test_table2_default_counts():
+    pool = build_pool(n_uops=200, n_mixes_category=4)
+    # paper counts: 3/3/2 per category plus the mixes category
+    for cat in pool.categories():
+        if cat == "mixes":
+            continue
+        ws = pool.by_category(cat)
+        assert sum(1 for w in ws if w.wtype == WorkloadType.ILP) == 3
+        assert sum(1 for w in ws if w.wtype == WorkloadType.MEM) == 3
+        assert sum(1 for w in ws if w.wtype == WorkloadType.MIX) == 2
+
+
+def test_workloads_are_two_threaded(pool):
+    for w in pool:
+        assert w.num_threads == 2
+        for t in w.traces:
+            assert len(t) == 500
+
+
+def test_mix_pairs_one_of_each(pool):
+    for w in pool:
+        kinds = sorted(t.kind for t in w.traces)
+        if w.wtype == WorkloadType.ILP:
+            assert kinds == ["ilp", "ilp"]
+        elif w.wtype == WorkloadType.MEM:
+            assert kinds == ["mem", "mem"]
+
+
+def test_ispec_fspec_pairs_the_two_spec_suites(pool):
+    for w in pool.by_category("ISPEC-FSPEC"):
+        cats = {t.category for t in w.traces}
+        assert cats == {"ISPEC00", "FSPEC00"}
+
+
+def test_mixes_pair_distinct_categories(pool):
+    for w in pool.by_category("mixes"):
+        a, b = w.traces
+        assert a.category != b.category
+
+
+def test_names_follow_paper_convention(pool):
+    for w in pool.by_category("ISPEC-FSPEC"):
+        assert w.name.split(".")[1] == "2"  # <type>.2.<index>
+
+
+def test_pool_deterministic():
+    a = build_pool(n_uops=300, n_ilp=1, n_mem=0, n_mix=0, n_mixes_category=2)
+    b = build_pool(n_uops=300, n_ilp=1, n_mem=0, n_mix=0, n_mixes_category=2)
+    import numpy as np
+
+    for wa, wb in zip(a, b):
+        assert wa.name == wb.name
+        for ta, tb in zip(wa.traces, wb.traces):
+            assert np.array_equal(ta.records, tb.records)
+
+
+def test_get_and_summary(pool):
+    w = pool.by_category("DH")[0]
+    assert pool.get("DH", w.name) is w
+    with pytest.raises(KeyError):
+        pool.get("DH", "nope")
+    text = pool.summary()
+    assert "DH" in text and "total workloads" in text
+
+
+def test_workload_traces_differ_between_threads(pool):
+    import numpy as np
+
+    for w in pool:
+        a, b = w.traces
+        if a.category == b.category and a.kind == b.kind:
+            assert not np.array_equal(a.records, b.records)
