@@ -2,14 +2,38 @@
 
 These are conventional pytest-benchmark timings (multiple rounds) rather
 than figure reproductions — they track the performance of the cycle loop
-and the trace generator across changes.
+and the trace generator across changes.  Mean times also land in
+``benchmarks/results/engine_speed.json`` so cycle-loop speedups (or
+regressions) are recorded next to the figure outputs.
 """
+
+import json
+
+import pytest
 
 from repro.config import baseline_config
 from repro.core.processor import Processor
 from repro.policies import make_policy
 from repro.trace.categories import category_profile
 from repro.trace.synthesis import SyntheticProgram, generate_trace
+
+
+@pytest.fixture(scope="module")
+def speed_log(results_dir):
+    """Collect ``{bench name: mean seconds}`` and persist at module end."""
+    data: dict[str, float] = {}
+    yield data
+    if data:
+        path = results_dir / "engine_speed.json"
+        merged = json.loads(path.read_text()) if path.exists() else {}
+        merged.update(data)
+        path.write_text(json.dumps(merged, indent=1, sort_keys=True))
+
+
+def _record(speed_log, name, benchmark):
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:
+        speed_log[name] = stats.stats.mean
 
 
 def _traces(n_uops=4000):
@@ -22,7 +46,17 @@ def _traces(n_uops=4000):
     return [a, b]
 
 
-def bench_cycle_loop_icount(benchmark):
+def _mem_traces(n_uops=4000):
+    a = generate_trace(
+        category_profile("server", "mem"), seed=3, n_uops=n_uops, kind="mem"
+    )
+    b = generate_trace(
+        category_profile("workstation", "mem"), seed=5, n_uops=n_uops, kind="mem"
+    )
+    return [a, b]
+
+
+def bench_cycle_loop_icount(benchmark, speed_log):
     traces = _traces()
     config = baseline_config()
 
@@ -34,9 +68,10 @@ def bench_cycle_loop_icount(benchmark):
 
     committed = benchmark(run)
     assert committed > 0
+    _record(speed_log, "cycle_loop_icount", benchmark)
 
 
-def bench_cycle_loop_cdprf(benchmark):
+def bench_cycle_loop_cdprf(benchmark, speed_log):
     traces = _traces()
     config = baseline_config()
 
@@ -48,6 +83,48 @@ def bench_cycle_loop_cdprf(benchmark):
 
     committed = benchmark(run)
     assert committed > 0
+    _record(speed_log, "cycle_loop_cdprf", benchmark)
+
+
+def bench_cycle_loop_mem_bound(benchmark, speed_log):
+    """MEM-bound pair: exercises the MOB/L2-miss path the ILP pair skips."""
+    traces = _mem_traces()
+    config = baseline_config()
+
+    def run():
+        proc = Processor(config, make_policy("icount"), traces)
+        while not proc.any_done() and proc.cycle < 200_000:
+            proc.step()
+        return proc.stats.committed
+
+    committed = benchmark(run)
+    assert committed > 0
+    _record(speed_log, "cycle_loop_mem_bound", benchmark)
+
+
+def bench_sweep_smoke(benchmark, speed_log):
+    """Smoke-scale ExperimentRunner.sweep: the fan-out path end to end.
+
+    A fresh uncached runner per round (sharing one prebuilt pool) so every
+    round actually simulates; jobs resolve from REPRO_JOBS / cpu count like
+    the figure benchmarks.
+    """
+    from repro.experiments.parallel import resolve_jobs
+    from repro.experiments.runner import ExperimentRunner, figure2_config
+    from repro.trace.workloads import build_pool
+
+    config = figure2_config(32)
+    pool = build_pool(n_uops=2500, n_ilp=1, n_mem=1, n_mix=0,
+                      n_mixes_category=0, categories=("ISPEC00",))
+    jobs = resolve_jobs()
+
+    def run():
+        runner = ExperimentRunner("smoke", pool=pool, jobs=jobs)
+        return len(runner.sweep(config, ["icount", "cssp"]))
+
+    n = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert n == 4
+    _record(speed_log, "sweep_smoke", benchmark)
 
 
 def bench_trace_generation(benchmark):

@@ -5,10 +5,11 @@ benchmark in the session, with a persistent disk cache under
 ``benchmarks/.cache`` — figures that share runs (2/3/4/5; 6/9/10/headline)
 are measured from the same simulations, and re-running the suite is cheap.
 
-Scale defaults to ``quick`` (every figure in ~20 min on one core); set
-``REPRO_SCALE=smoke`` for a fast pass or ``REPRO_SCALE=full`` for the
-paper-sized pool.  Each benchmark prints its reproduced table and writes a
-machine-readable JSON under ``benchmarks/results/``.
+Scale defaults to ``quick``; set ``REPRO_SCALE=smoke`` for a fast pass or
+``REPRO_SCALE=full`` for the paper-sized pool.  Sweeps fan out over all
+cores by default (``REPRO_JOBS=N`` to override — see
+:mod:`repro.experiments.parallel`).  Each benchmark prints its reproduced
+table and writes a machine-readable JSON under ``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import ExperimentRunner, save_json
+from repro.experiments.parallel import resolve_jobs
 from repro.experiments.runner import scale_from_env
 
 _HERE = Path(__file__).parent
@@ -26,7 +28,9 @@ _HERE = Path(__file__).parent
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
     scale = scale_from_env(default="quick")
-    return ExperimentRunner(scale, cache_dir=_HERE / ".cache" / scale.name)
+    return ExperimentRunner(
+        scale, cache_dir=_HERE / ".cache" / scale.name, jobs=resolve_jobs()
+    )
 
 
 @pytest.fixture(scope="session")

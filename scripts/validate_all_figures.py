@@ -1,6 +1,16 @@
-"""Run every figure reproduction at a given scale and print the tables."""
+"""Run every figure reproduction at a given scale and print the tables.
 
-import sys
+Usage::
+
+    PYTHONPATH=src python scripts/validate_all_figures.py [scale] [--jobs N]
+
+``scale`` is one of smoke/quick/medium/full (default smoke).  Simulations
+fan out over ``N`` worker processes — default all cores, also settable via
+``REPRO_JOBS`` (see repro/experiments/parallel.py); results are identical
+at any job count.
+"""
+
+import argparse
 import time
 
 from repro.experiments import (
@@ -15,9 +25,22 @@ from repro.experiments import (
     headline_numbers,
     table2_workloads,
 )
+from repro.experiments.parallel import resolve_jobs
 
-scale = sys.argv[1] if len(sys.argv) > 1 else "smoke"
-runner = ExperimentRunner(scale, cache_dir=f"/tmp/repro-cache-{scale}")
+parser = argparse.ArgumentParser(description=__doc__)
+from repro.experiments.runner import SCALES  # noqa: E402
+
+parser.add_argument("scale", nargs="?", default="smoke", choices=sorted(SCALES))
+parser.add_argument(
+    "--jobs", type=int, default=None, help="worker processes (default: all cores)"
+)
+args = parser.parse_args()
+
+jobs = resolve_jobs(args.jobs)
+runner = ExperimentRunner(
+    args.scale, cache_dir=f"/tmp/repro-cache-{args.scale}", jobs=jobs
+)
+print(f"scale={args.scale} jobs={jobs}", flush=True)
 
 for name, fn in [
     ("table2", table2_workloads),

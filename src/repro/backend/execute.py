@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.config import ProcessorConfig
 from repro.isa import UopClass
-from repro.isa.uops import PORT_FP, PORT_INT, PORT_MEM
+from repro.isa.uops import PORT_CLASS_TABLE, PORT_FP, PORT_INT, PORT_MEM
 
 #: Port capability masks, indexed by port number.  Must stay in sync with
 #: ``ClusterConfig.num_ports``.
@@ -83,6 +83,14 @@ class PortSet:
             busy[2] = True
             return True
         return False
+
+    def try_claim_uop(self, uop) -> bool:
+        """``try_claim`` keyed directly off a uop's class (hot-path form).
+
+        Bound-method version used by :meth:`IssueQueue.select` so the cycle
+        loop does not allocate a closure per cluster per cycle.
+        """
+        return self.try_claim(PORT_CLASS_TABLE[uop.opclass])
 
     def has_free(self, pclass: int) -> bool:
         """Would ``try_claim`` succeed (without claiming)?"""

@@ -73,6 +73,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--scale", choices=sorted(SCALES), default="quick")
     p_fig.add_argument("--cache-dir", default=".repro-cache")
     p_fig.add_argument("--out", help="also write the result as JSON here")
+    p_fig.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS or all cores)",
+    )
     return parser
 
 
@@ -120,7 +126,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "figure":
-        runner = ExperimentRunner(args.scale, cache_dir=args.cache_dir)
+        from repro.experiments.parallel import resolve_jobs
+
+        runner = ExperimentRunner(
+            args.scale, cache_dir=args.cache_dir, jobs=resolve_jobs(args.jobs)
+        )
         fig = _FIGURES[args.which](runner)
         print(fig.render())
         print(f"\n[{runner.sims_run} simulations run, {runner.cache_hits} cache hits]")

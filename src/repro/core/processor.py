@@ -44,7 +44,7 @@ from repro.frontend.rename import Mapping, RenameTable
 from repro.frontend.steering import Steering
 from repro.frontend.tracecache import TraceCache
 from repro.isa import NO_REG, NUM_ARCH_INT, Uop, UopClass
-from repro.isa.uops import port_class
+from repro.isa.uops import PORT_CLASS_TABLE
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.policies.base import ResourcePolicy
 from repro.trace.trace import Trace
@@ -106,6 +106,20 @@ class Processor:
         # hot-path caches (plain ints beat enum lookups in the cycle loop)
         self._latency = [latency_for(config, UopClass(c)) for c in range(8)]
         self._num_arch_int = NUM_ARCH_INT
+        fe = config.front_end
+        self._commit_width = fe.commit_width
+        self._rename_width = fe.rename_width
+        self._fetch_width = fe.fetch_width
+        self._fetch_queue_entries = fe.fetch_queue_entries
+        self._mispredict_pipeline = fe.mispredict_pipeline
+        self._mrom_latency = fe.mrom_latency
+        # per-cluster select bandwidth and pre-bound port claimers (avoids a
+        # closure allocation per cluster per cycle)
+        self._max_scan = [cl.iq.capacity + 8 for cl in self.clusters]
+        self._claimers = [cl.ports.try_claim_uop for cl in self.clusters]
+        # PC-style schemes force each thread to a fixed cluster; resolve the
+        # hook once instead of a getattr per renamed uop
+        self._forced_cluster = getattr(policy, "forced_cluster", None)
         policy.attach(self)
 
     # ------------------------------------------------------------------ #
@@ -113,12 +127,12 @@ class Processor:
     # ------------------------------------------------------------------ #
 
     def _alloc_reg(self, tid: int, regclass: int, cluster: int) -> int:
-        phys = self.clusters[cluster].regs[regclass].alloc()
+        phys = self.clusters[cluster].regs.files[regclass].alloc()
         self.policy.on_reg_alloc(tid, regclass, cluster)
         return phys
 
     def _free_reg(self, tid: int, regclass: int, cluster: int, phys: int) -> None:
-        self.clusters[cluster].regs[regclass].free(phys)
+        self.clusters[cluster].regs.files[regclass].free(phys)
         self.policy.on_reg_free(tid, regclass, cluster)
 
     # ------------------------------------------------------------------ #
@@ -155,7 +169,7 @@ class Processor:
     # ------------------------------------------------------------------ #
 
     def _commit(self) -> None:
-        width = self.config.front_end.commit_width
+        width = self._commit_width
         threads = self.threads
         n = len(threads)
         start = self._commit_rr
@@ -175,6 +189,8 @@ class Processor:
         self._commit_rr = (start + 1) % n
         if committed:
             self._last_commit_cycle = self.cycle
+            # batched per-cycle stat flush (one attribute store per counter)
+            self.stats.committed += committed
 
     def _commit_uop(self, thread: ThreadContext, uop: Uop) -> None:
         thread.rob.pop_head()
@@ -197,7 +213,6 @@ class Processor:
         if uop.opclass == _LOAD or uop.opclass == _STORE:
             self.mob.release(uop)
         thread.committed += 1
-        self.stats.committed += 1
         self.stats.committed_per_thread[uop.tid] += 1
         self.policy.on_commit(uop)
 
@@ -206,10 +221,11 @@ class Processor:
     # ------------------------------------------------------------------ #
 
     def _wake_consumers(self, cluster: int, regclass: int, phys: int) -> None:
-        for waiter in self.clusters[cluster].regs[regclass].set_ready(phys):
+        clusters = self.clusters
+        for waiter in clusters[cluster].regs.files[regclass].set_ready(phys):
             waiter.wait_count -= 1
             if waiter.wait_count == 0 and not waiter.squashed and not waiter.issued:
-                self.clusters[waiter.cluster].iq.wake(waiter)
+                clusters[waiter.cluster].iq.wake(waiter)
 
     def _writeback(self) -> None:
         for uop in self._events.pop(self.cycle, ()):
@@ -243,13 +259,12 @@ class Processor:
     # ------------------------------------------------------------------ #
 
     def _issue(self) -> None:
+        stats = self.stats
+        clusters = self.clusters
         passed_per_cluster: list[list[Uop]] = []
-        for cl in self.clusters:
+        for ci, cl in enumerate(clusters):
             cl.ports.new_cycle()
-            issued, passed = cl.iq.select(
-                cl.iq.capacity + 8,
-                lambda u, ports=cl.ports: ports.try_claim(port_class(u.opclass)),
-            )
+            issued, passed = cl.iq.select(self._max_scan[ci], self._claimers[ci])
             passed_per_cluster.append(passed)
             any_issued = False
             for uop in issued:
@@ -258,24 +273,27 @@ class Processor:
                 self._start_execution(uop, cl)
                 any_issued = True
             if any_issued:
-                self.stats.issue_cycles += 1
+                stats.issue_cycles += 1
         # workload-imbalance probe (Figure 5), against final port state
         probed = False
+        imbalance = stats.imbalance
         for ci, passed in enumerate(passed_per_cluster):
-            other_ports = self.clusters[1 - ci].ports
-            seen: set[int] = set()
+            if not passed:
+                continue
+            other_ports = clusters[1 - ci].ports
+            seen = 0
             for uop in passed:
                 if uop.squashed:
                     continue
-                pcls = port_class(uop.opclass)
-                if pcls in seen:
+                pcls = PORT_CLASS_TABLE[uop.opclass]
+                bit = 1 << pcls
+                if seen & bit:
                     continue
-                seen.add(pcls)
-                bucket = 1 if other_ports.has_free(pcls) else 0
-                self.stats.imbalance[pcls][bucket] += 1
+                seen |= bit
+                imbalance[pcls][1 if other_ports.has_free(pcls) else 0] += 1
                 probed = True
         if probed:
-            self.stats.imbalance_cycles += 1
+            stats.imbalance_cycles += 1
 
     def _start_execution(self, uop: Uop, cl: Cluster) -> None:
         uop.issued = True
@@ -323,12 +341,13 @@ class Processor:
             excluded.add(thread.tid)  # structurally blocked; give the slot away
 
     def _rename_thread(self, thread: ThreadContext) -> int:
-        width = self.config.front_end.rename_width
+        width = self._rename_width
+        fq = thread.fetch_queue
         renamed = 0
-        while renamed < width and thread.fetch_queue:
-            if not self._rename_one(thread, thread.fetch_queue[0]):
+        while renamed < width and fq:
+            if not self._rename_one(thread, fq[0]):
                 break
-            thread.fetch_queue.popleft()
+            fq.popleft()
             renamed += 1
         return renamed
 
@@ -343,7 +362,7 @@ class Processor:
             return False
 
         table = thread.rename_table
-        forced = getattr(self.policy, "forced_cluster", None)
+        forced = self._forced_cluster
         if forced is not None:
             preferred = forced(tid)
             candidates: tuple[int, ...] = (preferred,)
@@ -391,71 +410,122 @@ class Processor:
         Returns None on success or the blocking cause:
         ``"iq"`` / ``"rf_int"`` / ``"rf_fp"``.
         """
-        iq_need = [0, 0]
-        reg_need = [0, 0]  # per class, all allocated in `cluster`
-        iq_need[cluster] += 1
-        seen: set[int] = set()
-        for arch in uop.sources():
-            if arch in seen:
-                continue
-            seen.add(arch)
-            if not table.present_in(arch, cluster):
-                home = table.lookup(arch).cluster
-                iq_need[home] += 1
-                reg_need[0 if arch < NUM_ARCH_INT else 1] += 1
-        if uop.dest != NO_REG:
-            reg_need[0 if uop.dest < NUM_ARCH_INT else 1] += 1
+        # per-cluster IQ entries and per-class registers needed (copies for
+        # absent sources allocate their replica register in `cluster` but an
+        # IQ entry in the source's home cluster); scalars instead of lists —
+        # this runs for every rename attempt
+        num_int = NUM_ARCH_INT
+        iq0 = iq1 = reg_int = reg_fp = 0
+        if cluster == 0:
+            iq0 = 1
+        else:
+            iq1 = 1
+        s1 = uop.src1
+        if s1 >= 0:
+            if not table.present_in(s1, cluster):
+                if table.home_cluster(s1) == 0:
+                    iq0 += 1
+                else:
+                    iq1 += 1
+                if s1 < num_int:
+                    reg_int += 1
+                else:
+                    reg_fp += 1
+            # src2 is only meaningful when src1 is set (Uop.sources contract)
+            s2 = uop.src2
+            if s2 >= 0 and s2 != s1 and not table.present_in(s2, cluster):
+                if table.home_cluster(s2) == 0:
+                    iq0 += 1
+                else:
+                    iq1 += 1
+                if s2 < num_int:
+                    reg_int += 1
+                else:
+                    reg_fp += 1
+        dest = uop.dest
+        if dest >= 0:
+            if dest < num_int:
+                reg_int += 1
+            else:
+                reg_fp += 1
 
         policy = self.policy
-        for cl in (0, 1):
-            need = iq_need[cl]
-            if need and self.clusters[cl].iq.free_entries < need:
+        clusters = self.clusters
+        if iq0:
+            iq = clusters[0].iq
+            if iq.capacity - iq.occupancy < iq0:
                 return "iq"
-        if not policy.may_dispatch_group(tid, iq_need):
+        if iq1:
+            iq = clusters[1].iq
+            if iq.capacity - iq.occupancy < iq1:
+                return "iq"
+        if not policy.may_dispatch_group(tid, [iq0, iq1]):
             return "iq"
-        for k in (0, 1):
-            need = reg_need[k]
-            if not need:
-                continue
-            f = self.clusters[cluster].regs[k]
-            if not f.unbounded and f.free_count < need:
-                return "rf_int" if k == 0 else "rf_fp"
-            if not policy.may_alloc_reg(tid, k, cluster, need):
-                return "rf_int" if k == 0 else "rf_fp"
+        files = clusters[cluster].regs.files
+        if reg_int:
+            f = files[0]
+            if not f.unbounded and f.free_count < reg_int:
+                return "rf_int"
+            if not policy.may_alloc_reg(tid, 0, cluster, reg_int):
+                return "rf_int"
+        if reg_fp:
+            f = files[1]
+            if not f.unbounded and f.free_count < reg_fp:
+                return "rf_fp"
+            if not policy.may_alloc_reg(tid, 1, cluster, reg_fp):
+                return "rf_fp"
         return None
 
     def _dispatch_uop(
         self, thread: ThreadContext, uop: Uop, cluster: int, table: RenameTable
     ) -> None:
         tid = thread.tid
-        # resolve sources, generating copies for cross-cluster operands
+        num_int = NUM_ARCH_INT
+        files = self.clusters[cluster].regs.files
+        # resolve sources, generating copies for cross-cluster operands; a
+        # duplicated source registers two waits (the wakeup delivers two
+        # decrements), exactly like the generic sources() loop did
         wait = 0
-        resolved: dict[int, int] = {}
-        for arch in uop.sources():
-            if arch in resolved:
-                phys = resolved[arch]
-            else:
-                phys = table.phys_in(arch, cluster)
-                if phys == NO_REG:
-                    phys = self._make_copy(thread, uop, arch, cluster, table)
-                resolved[arch] = phys
-            if phys != READY_EVERYWHERE:
-                k = 0 if arch < NUM_ARCH_INT else 1
-                f = self.clusters[cluster].regs[k]
-                if not f.is_ready(phys):
-                    f.add_waiter(phys, uop)
+        s1 = uop.src1
+        if s1 >= 0:
+            phys1 = table.phys_in(s1, cluster)
+            if phys1 == NO_REG:
+                phys1 = self._make_copy(thread, uop, s1, cluster, table)
+            if phys1 != READY_EVERYWHERE:
+                k = 0 if s1 < num_int else 1
+                f = files[k]
+                if not f.is_ready(phys1):
+                    f.add_waiter(phys1, uop)
                     if uop.waits is None:
                         uop.waits = []
-                    uop.waits.append((cluster, k, phys))
+                    uop.waits.append((cluster, k, phys1))
                     wait += 1
+            s2 = uop.src2
+            if s2 >= 0:
+                if s2 != s1:
+                    phys2 = table.phys_in(s2, cluster)
+                    if phys2 == NO_REG:
+                        phys2 = self._make_copy(thread, uop, s2, cluster, table)
+                else:
+                    phys2 = phys1
+                if phys2 != READY_EVERYWHERE:
+                    k = 0 if s2 < num_int else 1
+                    f = files[k]
+                    if not f.is_ready(phys2):
+                        f.add_waiter(phys2, uop)
+                        if uop.waits is None:
+                            uop.waits = []
+                        uop.waits.append((cluster, k, phys2))
+                        wait += 1
         uop.wait_count = wait
         uop.cluster = cluster
 
-        if uop.dest != NO_REG:
-            k = 0 if uop.dest < NUM_ARCH_INT else 1
+        dest = uop.dest
+        if dest >= 0:
+            k = 0 if dest < num_int else 1
             uop.dest_class = k
             phys = self._alloc_reg(tid, k, cluster)
-            prev = table.define(uop.dest, cluster, phys)
+            prev = table.define(dest, cluster, phys)
             uop.phys_dest = phys
             uop.prev_phys = prev.phys
             uop.prev_phys_cluster = prev.cluster
@@ -464,15 +534,17 @@ class Processor:
         uop.age = self._age
         self._age += 1
         thread.rob.push(uop)
-        if uop.opclass == _LOAD or uop.opclass == _STORE:
+        opclass = uop.opclass
+        if opclass == _LOAD or opclass == _STORE:
             self.mob.alloc(uop)
         self.clusters[cluster].iq.dispatch(uop)
         thread.inflight.append(uop)
         thread.icount += 1
         self.policy.on_rename(uop)
-        self.stats.renamed += 1
+        stats = self.stats
+        stats.renamed += 1
         if uop.wrong_path:
-            self.stats.wrong_path_renamed += 1
+            stats.wrong_path_renamed += 1
 
     def _make_copy(
         self,
@@ -531,7 +603,7 @@ class Processor:
         thread.wrong_path = False
         thread.fetch_blocked_until = max(
             thread.fetch_blocked_until,
-            self.cycle + self.config.front_end.mispredict_pipeline,
+            self.cycle + self._mispredict_pipeline,
         )
         self.stats.mispredicts += 1
 
@@ -612,8 +684,7 @@ class Processor:
     # ------------------------------------------------------------------ #
 
     def _fetch(self) -> None:
-        fe = self.config.front_end
-        qcap = fe.fetch_queue_entries
+        qcap = self._fetch_queue_entries
         cycle = self.cycle
         # fetch selection policy: fewest instructions in the private queue
         best: ThreadContext | None = None
@@ -639,16 +710,18 @@ class Processor:
         # break on taken branches (the Pentium 4 front-end of [14]); only a
         # misprediction ends the group (fetch redirects to the wrong path
         # from the next cycle on).
+        stats = self.stats
+        fq = thread.fetch_queue
+        width = self._fetch_width
         fetched = 0
-        while fetched < fe.fetch_width and len(thread.fetch_queue) < qcap:
+        while fetched < width and len(fq) < qcap:
             uop = self._next_fetch_uop(thread)
             if uop is None:
                 break
-            thread.fetch_queue.append(uop)
+            fq.append(uop)
             fetched += 1
-            self.stats.fetched += 1
             if uop.wrong_path:
-                self.stats.wrong_path_fetched += 1
+                stats.wrong_path_fetched += 1
             elif uop.opclass == _BRANCH:
                 if uop.indirect:
                     # target-cache prediction under the thread's target-path
@@ -666,18 +739,21 @@ class Processor:
                         uop.mispredicted = True
                         thread.wrong_path = True
                         break
-            elif uop.complex_op and not uop.wrong_path:
+            elif uop.complex_op:
                 # complex macro-op: the MROM serializes decode for a few
                 # cycles (string moves and the like, Section 3)
-                thread.fetch_blocked_until = cycle + fe.mrom_latency
+                thread.fetch_blocked_until = cycle + self._mrom_latency
                 break
+        # batched per-cycle stat flush
+        stats.fetched += fetched
 
     def _peek_pc(self, thread: ThreadContext) -> int | None:
         if thread.wrong_path:
             return thread.wp_source.peek_pc()
-        if thread.trace_exhausted:
+        cursor = thread.cursor
+        if cursor >= thread.n_records:
             return None
-        return int(thread.trace.records[thread.cursor]["pc"])
+        return thread.cols.pc[cursor]
 
     def _next_fetch_uop(self, thread: ThreadContext) -> Uop | None:
         if thread.wrong_path:
@@ -695,29 +771,30 @@ class Processor:
                 pc=pc,
                 seq=-1,
                 taken=taken,
-                mem_line=mem_line + (thread.tid << 33),
+                mem_line=mem_line + thread.mem_offset,
                 wrong_path=True,
             )
-        if thread.trace_exhausted:
+        cursor = thread.cursor
+        if cursor >= thread.n_records:
             return None
-        rec = thread.trace.records[thread.cursor]
+        cols = thread.cols
         uop = Uop(
             thread.tid,
-            int(rec["opclass"]),
-            dest=int(rec["dest"]),
-            src1=int(rec["src1"]),
-            src2=int(rec["src2"]),
-            pc=int(rec["pc"]),
-            seq=thread.cursor,
-            taken=bool(rec["taken"]),
-            mem_line=int(rec["mem_line"]) + (thread.tid << 33),
+            cols.opclass[cursor],
+            dest=cols.dest[cursor],
+            src1=cols.src1[cursor],
+            src2=cols.src2[cursor],
+            pc=cols.pc[cursor],
+            seq=cursor,
+            taken=cols.taken[cursor],
+            mem_line=cols.mem_line[cursor] + thread.mem_offset,
         )
-        if rec["indirect"]:
+        if cols.indirect[cursor]:
             uop.indirect = True
-            uop.target = int(rec["target"])
-        if rec["complex_op"]:
+            uop.target = cols.target[cursor]
+        if cols.complex_op[cursor]:
             uop.complex_op = True
-        thread.cursor += 1
+        thread.cursor = cursor + 1
         thread.fetched_right_path += 1
         return uop
 

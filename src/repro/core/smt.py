@@ -24,6 +24,9 @@ class ThreadContext:
     __slots__ = (
         "tid",
         "trace",
+        "cols",              # trace fields as plain-list columns (hot fetch path)
+        "n_records",         # len(trace.records), cached for the fetch loop
+        "mem_offset",        # tid << 33, pre-shifted per-thread address space
         "cursor",            # next trace record to fetch (right path)
         "fetch_queue",       # decoded uops awaiting rename (private queue)
         "fetch_blocked_until",
@@ -45,6 +48,9 @@ class ThreadContext:
     def __init__(self, tid: int, trace: Trace) -> None:
         self.tid = tid
         self.trace = trace
+        self.cols = trace.columns()
+        self.n_records = len(trace.records)
+        self.mem_offset = tid << 33
         self.cursor = 0
         self.fetch_queue: deque[Uop] = deque()
         self.fetch_blocked_until = 0

@@ -27,9 +27,13 @@ STALL_CAUSES = ("iq", "rf_int", "rf_fp", "rob", "mob")
 IMBALANCE_CLASSES = {PORT_INT: "Integer", PORT_FP: "Fp/Simd", PORT_MEM: "Mem"}
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
-    """Mutable counter block for one simulation."""
+    """Mutable counter block for one simulation.
+
+    ``slots=True``: the cycle loop bumps these counters millions of times
+    per simulation, and slot access skips the per-instance ``__dict__``.
+    """
 
     num_threads: int
     cycles: int = 0

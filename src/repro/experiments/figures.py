@@ -281,15 +281,16 @@ def figure9_cdprf(runner: ExperimentRunner, per_type: int = 4) -> FigureResult:
     normalized to Icount; plus the AVG row."""
     pool = runner.ispec_fspec_pool(per_type)
     config = figure6_config(64)
+    runs = runner.sweep(config, ("icount", *FIG9_SCHEMES), pool)
     base = {
-        (w.category, w.name): runner.run(config, "icount", w).ipc for w in pool
+        (w.category, w.name): runs[("icount", w.category, w.name)].ipc for w in pool
     }
     rows: dict[str, dict[str, float]] = {}
     for w in pool:
         rows[w.name] = {}
     for pol in FIG9_SCHEMES:
         for w in pool:
-            rec = runner.run(config, pol, w)
+            rec = runs[(pol, w.category, w.name)]
             rows[w.name][pol] = rec.ipc / base[(w.category, w.name)]
     avg = {
         pol: mean([cells[pol] for cells in rows.values()]) for pol in FIG9_SCHEMES
@@ -324,6 +325,11 @@ def figure10_fairness(runner: ExperimentRunner) -> FigureResult:
     [17]/[33], single-thread references run on the full machine)."""
     config = figure6_config(64)
     columns = list(FAIRNESS_SCHEMES)
+    # Prefetch: every pair run and every single-thread reference is
+    # independent, so fill the cache on the worker pool first (no-ops when
+    # runner.jobs == 1); the loop below then only reads cache.
+    runner.sweep(config, ("icount", *FAIRNESS_SCHEMES))
+    runner.run_singles(config, [tr for w in runner.pool for tr in w.traces])
     values: dict[str, dict[tuple[str, str], float]] = {c: {} for c in columns}
     for w in runner.pool:
         base_fair = _workload_fairness(runner, config, "icount", w)

@@ -1,0 +1,331 @@
+"""Process-pool fan-out for the experiment runner.
+
+A figure regeneration is a long list of independent simulations, each a
+pure function of ``(scale, config, policy, workload)``.  This module fans
+those simulations out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+and merges the results back through :class:`ExperimentRunner`'s cache, so
+the serial code paths (and their results) are untouched — the parallel
+layer only *prefetches* cache entries.
+
+Two design rules keep the fan-out cheap and deterministic:
+
+* **Nothing heavy crosses the pickle boundary.**  A work item carries the
+  :class:`RunKey`, the frozen config/scale dataclasses and *trace specs*
+  (``(name, category, kind, seed, n_uops)`` tuples).  Workers regenerate
+  the traces from their seeds — trace synthesis is fully deterministic in
+  those fields — and memoize them per process, so a 30k-uop trace is never
+  pickled and each worker builds it at most once.
+* **Workers are plain runners.**  Each worker process keeps one
+  uncached :class:`ExperimentRunner` per scale and calls the same
+  ``run``/``run_single`` entry points the serial path uses, so a parallel
+  run is bit-identical to a serial one (asserted by
+  ``tests/experiments/test_parallel.py``).
+
+Worker counts resolve as ``jobs=`` argument > ``REPRO_JOBS`` environment
+variable > default (``os.cpu_count()`` for the benchmark/figure drivers,
+1 for a bare :class:`ExperimentRunner`).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.config import ProcessorConfig
+from repro.trace.categories import WorkloadType, category_profile
+from repro.trace.synthesis import generate_trace
+from repro.trace.trace import Trace
+from repro.trace.workloads import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import ExperimentRunner, RunKey, Scale
+
+
+def resolve_jobs(jobs: int | None = None, default: int | None = None) -> int:
+    """Worker count: explicit ``jobs`` > ``REPRO_JOBS`` > ``default``.
+
+    ``default=None`` means "all cores" (the right default for the figure
+    and benchmark drivers); library entry points pass ``default=1`` so an
+    :class:`ExperimentRunner` never forks unless asked to.
+    """
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        return max(1, int(env))
+    if default is not None:
+        return max(1, int(default))
+    return os.cpu_count() or 1
+
+
+# --------------------------------------------------------------------------- #
+# Work items: everything a worker needs, nothing it can rebuild               #
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Seed-level identity of a generated trace (a few ints and strings)."""
+
+    name: str
+    category: str
+    kind: str
+    seed: int
+    n_uops: int
+
+    @classmethod
+    def of(cls, trace: Trace) -> "TraceSpec":
+        return cls(trace.name, trace.category, trace.kind, trace.seed, len(trace))
+
+    def build(self) -> Trace:
+        """Regenerate the trace; bit-identical to the original."""
+        return generate_trace(
+            category_profile(self.category, self.kind),
+            seed=self.seed,
+            n_uops=self.n_uops,
+            name=self.name,
+            category=self.category,
+            kind=self.kind,
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Seed-level identity of a 2-thread workload."""
+
+    name: str
+    category: str
+    wtype: str  # WorkloadType value
+    traces: tuple[TraceSpec, ...]
+
+    @classmethod
+    def of(cls, workload: Workload) -> "WorkloadSpec | None":
+        """Spec for ``workload``, or None if its traces cannot be
+        regenerated from seeds (hand-built test traces) — those run
+        serially in the parent instead."""
+        specs = []
+        for tr in workload.traces:
+            try:
+                category_profile(tr.category, tr.kind)
+            except KeyError:
+                return None
+            specs.append(TraceSpec.of(tr))
+        return cls(
+            workload.name, workload.category, workload.wtype.value, tuple(specs)
+        )
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One simulation to run in a worker.
+
+    Exactly one of ``workload`` (2-thread run) / ``single`` (single-thread
+    reference run) is set.  ``key`` is computed by the parent so cache
+    identity cannot drift between parent and worker.
+    """
+
+    key: "RunKey"
+    scale: "Scale"
+    config: ProcessorConfig
+    policy: str
+    stop: str
+    workload: WorkloadSpec | None = None
+    single: TraceSpec | None = None
+
+
+# --------------------------------------------------------------------------- #
+# Worker side: per-process memoization                                        #
+# --------------------------------------------------------------------------- #
+
+_worker_traces: dict[TraceSpec, Trace] = {}
+_worker_runners: dict["Scale", "ExperimentRunner"] = {}
+
+
+def _worker_trace(spec: TraceSpec) -> Trace:
+    tr = _worker_traces.get(spec)
+    if tr is None:
+        tr = _worker_traces[spec] = spec.build()
+    return tr
+
+
+def _worker_runner(scale: "Scale") -> "ExperimentRunner":
+    runner = _worker_runners.get(scale)
+    if runner is None:
+        from repro.experiments.runner import ExperimentRunner
+
+        runner = _worker_runners[scale] = ExperimentRunner(scale, cache_dir=None)
+    return runner
+
+
+def _run_item(item: WorkItem):
+    """Worker entry point: run one simulation, return ``(key, record)``."""
+    runner = _worker_runner(item.scale)
+    if item.single is not None:
+        rec = runner.run_single(item.config, _worker_trace(item.single))
+    else:
+        assert item.workload is not None
+        spec = item.workload
+        workload = Workload(
+            name=spec.name,
+            category=spec.category,
+            wtype=WorkloadType(spec.wtype),
+            traces=tuple(_worker_trace(s) for s in spec.traces),
+        )
+        rec = runner.run(item.config, item.policy, workload, stop=item.stop)
+    return item.key, rec
+
+
+# --------------------------------------------------------------------------- #
+# Parent side: executor, progress, cache merge                                #
+# --------------------------------------------------------------------------- #
+
+_executor: ProcessPoolExecutor | None = None
+_executor_jobs = 0
+
+
+def _get_executor(jobs: int) -> ProcessPoolExecutor:
+    """A process pool with exactly ``jobs`` workers, reused across sweeps."""
+    global _executor, _executor_jobs
+    if _executor is not None and _executor_jobs != jobs:
+        shutdown()
+    if _executor is None:
+        _executor = ProcessPoolExecutor(max_workers=jobs)
+        _executor_jobs = jobs
+    return _executor
+
+
+def shutdown() -> None:
+    """Tear down the cached worker pool (tests; otherwise exits with us)."""
+    global _executor, _executor_jobs
+    if _executor is not None:
+        _executor.shutdown(wait=True)
+        _executor = None
+        _executor_jobs = 0
+
+
+class _Progress:
+    """Live ``done/total`` line on stderr (in-place when it is a tty)."""
+
+    def __init__(self, total: int, jobs: int, label: str) -> None:
+        self.total = total
+        self.done = 0
+        self.label = label
+        self._tty = sys.stderr.isatty()
+        print(
+            f"[repro] {label}: {total} sims on {jobs} workers",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def tick(self, key: "RunKey") -> None:
+        self.done += 1
+        if self._tty:
+            print(
+                f"\r[repro] {self.done}/{self.total} {key.policy}/{key.workload}"
+                f"\x1b[K",
+                end="",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    def close(self) -> None:
+        if self._tty:
+            print(file=sys.stderr, flush=True)
+
+
+def run_items(
+    runner: "ExperimentRunner",
+    items: Sequence[WorkItem],
+    jobs: int,
+    label: str = "sweep",
+) -> int:
+    """Run the cache-missing ``items`` on the pool; merge results back.
+
+    Returns the number of simulations actually executed.  With
+    ``jobs <= 1`` this is a no-op — the caller's serial loop does the
+    work — so the serial path never pays pool overhead.
+    """
+    if jobs <= 1:
+        return 0
+    todo: list[WorkItem] = []
+    seen: set[RunKey] = set()
+    for item in items:
+        if item.key not in seen and runner._cache_get(item.key) is None:
+            seen.add(item.key)
+            todo.append(item)
+    if not todo:
+        return 0
+    executor = _get_executor(min(jobs, len(todo)))
+    progress = _Progress(len(todo), min(jobs, len(todo)), label)
+    pending = {executor.submit(_run_item, item) for item in todo}
+    try:
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                key, rec = fut.result()
+                runner._cache_put(key, rec)
+                runner.sims_run += 1
+                progress.tick(key)
+    finally:
+        for fut in pending:
+            fut.cancel()
+        progress.close()
+    return len(todo)
+
+
+def sweep_items(
+    runner: "ExperimentRunner",
+    config: ProcessorConfig,
+    policies: Iterable[str],
+    workloads: Iterable[Workload],
+    stop: str = "first_done",
+) -> list[WorkItem]:
+    """Work items for every (policy, workload) pair of a sweep.
+
+    Workloads whose traces cannot be regenerated from seeds are skipped
+    (the serial pass after the prefetch still runs them in-parent).
+    """
+    items: list[WorkItem] = []
+    for wl in workloads:
+        spec = WorkloadSpec.of(wl)
+        if spec is None:
+            continue
+        for policy in policies:
+            items.append(
+                WorkItem(
+                    key=runner.key_for(config, policy, wl, stop=stop),
+                    scale=runner.scale,
+                    config=config,
+                    policy=policy,
+                    stop=stop,
+                    workload=spec,
+                )
+            )
+    return items
+
+
+def single_items(
+    runner: "ExperimentRunner",
+    config: ProcessorConfig,
+    traces: Iterable[Trace],
+) -> list[WorkItem]:
+    """Work items for single-thread reference runs (fairness baselines)."""
+    items: list[WorkItem] = []
+    for tr in traces:
+        try:
+            category_profile(tr.category, tr.kind)
+        except KeyError:
+            continue
+        items.append(
+            WorkItem(
+                key=runner.key_for_single(config, tr),
+                scale=runner.scale,
+                config=config,
+                policy="icount",
+                stop="all_done",
+                single=TraceSpec.of(tr),
+            )
+        )
+    return items

@@ -10,7 +10,16 @@ All figure reproductions funnel their simulations through one
   JSON, keyed by (scale, config digest, policy, workload, run parameters) —
   Figures 2-5 share runs, Figure 10 reuses Figure 2's Icount runs, and
   repeated benchmark invocations are free;
-* provides the single-thread reference runs the fairness metric needs.
+* provides the single-thread reference runs the fairness metric needs;
+* fans sweeps out over worker processes when asked to (``jobs=`` or the
+  ``REPRO_JOBS`` environment variable — see
+  :mod:`repro.experiments.parallel`); the parallel path only prefetches
+  cache entries, so results are bit-identical to a serial run.
+
+Disk cache writes go through a temp file and :func:`os.replace`, so
+concurrent runners sharing one ``cache_dir`` never observe a half-written
+entry; unreadable entries (e.g. left by a killed writer predating the
+atomic scheme) are treated as misses and re-run.
 
 Every simulation uses warmup (a fraction of the trace) and ILP-trace cache
 prewarm, per DESIGN.md's steady-state substitution notes.
@@ -127,6 +136,7 @@ class ExperimentRunner:
         scale: Scale | str | None = None,
         cache_dir: str | Path | None = None,
         pool: WorkloadPool | None = None,
+        jobs: int | None = None,
     ) -> None:
         if scale is None:
             scale = scale_from_env()
@@ -138,6 +148,11 @@ class ExperimentRunner:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         if self.cache_dir:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        # Worker processes for sweep()/run_singles(); default stays serial
+        # unless REPRO_JOBS is set, so library users never fork by surprise.
+        from repro.experiments.parallel import resolve_jobs
+
+        self.jobs = resolve_jobs(jobs, default=1)
         self.sims_run = 0
         self.cache_hits = 0
 
@@ -185,13 +200,40 @@ class ExperimentRunner:
 
     # -- cached running -------------------------------------------------------
 
+    def key_for(
+        self,
+        config: ProcessorConfig,
+        policy: str,
+        workload: Workload,
+        stop: str = "first_done",
+    ) -> RunKey:
+        """Cache identity of a 2-thread run (shared with the parallel path)."""
+        return RunKey(
+            self.scale.name,
+            config.digest(),
+            policy,
+            f"{workload.category}/{workload.name}",
+            stop,
+        )
+
+    def key_for_single(self, config: ProcessorConfig, trace: Trace) -> RunKey:
+        """Cache identity of a single-thread reference run.
+
+        ``config`` is the *multithreaded* config; the reference run always
+        executes on its single-thread variant under Icount to completion.
+        """
+        st_config = config.with_threads(1)
+        return RunKey(
+            self.scale.name, st_config.digest(), "icount", f"st/{trace.name}", "all_done"
+        )
+
     def _cache_get(self, key: RunKey) -> RunRecord | None:
         if key in self._memory:
             self.cache_hits += 1
             return self._memory[key]
         if self.cache_dir:
             path = self.cache_dir / key.filename()
-            if path.exists():
+            try:
                 data = json.loads(path.read_text())
                 rec = RunRecord(
                     **{
@@ -199,16 +241,31 @@ class ExperimentRunner:
                         "committed_per_thread": tuple(data["committed_per_thread"]),
                     }
                 )
-                self._memory[key] = rec
-                self.cache_hits += 1
-                return rec
+            except FileNotFoundError:
+                return None
+            except (OSError, ValueError, TypeError, KeyError):
+                # Unreadable or truncated entry (e.g. a writer killed before
+                # the atomic-replace scheme existed): drop it and re-run.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+            self._memory[key] = rec
+            self.cache_hits += 1
+            return rec
         return None
 
     def _cache_put(self, key: RunKey, rec: RunRecord) -> None:
         self._memory[key] = rec
         if self.cache_dir:
             path = self.cache_dir / key.filename()
-            path.write_text(json.dumps(dataclasses.asdict(rec)))
+            # Write-then-rename so a concurrent reader (another runner
+            # sharing this cache_dir, possibly in another process) only ever
+            # sees complete entries; os.replace is atomic within a filesystem.
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(dataclasses.asdict(rec)))
+            os.replace(tmp, path)
 
     def run(
         self,
@@ -218,13 +275,7 @@ class ExperimentRunner:
         stop: str = "first_done",
     ) -> RunRecord:
         """Simulate (or fetch from cache) one 2-thread workload."""
-        key = RunKey(
-            self.scale.name,
-            config.digest(),
-            policy,
-            f"{workload.category}/{workload.name}",
-            stop,
-        )
+        key = self.key_for(config, policy, workload, stop=stop)
         cached = self._cache_get(key)
         if cached is not None:
             return cached
@@ -245,15 +296,12 @@ class ExperimentRunner:
 
     def run_single(self, config: ProcessorConfig, trace: Trace) -> RunRecord:
         """Single-thread reference run (fairness denominator), cached."""
-        st_config = config.with_threads(1)
-        key = RunKey(
-            self.scale.name, st_config.digest(), "icount", f"st/{trace.name}", "all_done"
-        )
+        key = self.key_for_single(config, trace)
         cached = self._cache_get(key)
         if cached is not None:
             return cached
         res = run_simulation(
-            st_config,
+            config.with_threads(1),
             "icount",
             [trace],
             max_cycles=self.scale.max_cycles,
@@ -269,20 +317,66 @@ class ExperimentRunner:
 
     # -- sweeps ---------------------------------------------------------------
 
+    def _effective_jobs(self, jobs: int | None) -> int:
+        return self.jobs if jobs is None else max(1, int(jobs))
+
     def sweep(
         self,
         config: ProcessorConfig,
         policies: Iterable[str],
         workloads: Iterable[Workload] | None = None,
+        jobs: int | None = None,
     ) -> dict[tuple[str, str, str], RunRecord]:
         """Run every (policy, workload) pair; returns
-        ``{(policy, category, name): record}``."""
-        out: dict[tuple[str, str, str], RunRecord] = {}
+        ``{(policy, category, name): record}``.
+
+        With ``jobs > 1`` (argument, constructor, or ``REPRO_JOBS``) the
+        cache misses run on a process pool first; the serial loop below
+        then assembles the result entirely from cache, so ordering and
+        contents are identical to a serial sweep.
+        """
+        policies = list(policies)
         wls = list(workloads) if workloads is not None else list(self.pool)
+        n_jobs = self._effective_jobs(jobs)
+        if n_jobs > 1:
+            from repro.experiments import parallel
+
+            parallel.run_items(
+                self,
+                parallel.sweep_items(self, config, policies, wls),
+                n_jobs,
+                label="sweep",
+            )
+        out: dict[tuple[str, str, str], RunRecord] = {}
         for policy in policies:
             for wl in wls:
                 out[(policy, wl.category, wl.name)] = self.run(config, policy, wl)
         return out
+
+    def run_singles(
+        self,
+        config: ProcessorConfig,
+        traces: Iterable[Trace],
+        jobs: int | None = None,
+    ) -> list[RunRecord]:
+        """Single-thread reference runs for ``traces``, in order.
+
+        The batch form of :meth:`run_single`: with ``jobs > 1`` the cache
+        misses are prefetched on the worker pool (Figure 10 needs one
+        reference run per pool trace, all independent).
+        """
+        traces = list(traces)
+        n_jobs = self._effective_jobs(jobs)
+        if n_jobs > 1:
+            from repro.experiments import parallel
+
+            parallel.run_items(
+                self,
+                parallel.single_items(self, config, traces),
+                n_jobs,
+                label="single-thread refs",
+            )
+        return [self.run_single(config, tr) for tr in traces]
 
 
 def figure2_config(iq_entries: int) -> ProcessorConfig:

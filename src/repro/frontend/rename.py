@@ -55,6 +55,14 @@ class RenameTable:
         """Current mapping of ``arch``."""
         return Mapping(self._cluster[arch], self._phys[arch], self._replica[arch])
 
+    def home_cluster(self, arch: int) -> int:
+        """Home cluster of ``arch`` (-1 for static values).
+
+        Hot-path accessor: the admission check needs only the home cluster
+        of an absent source, and :meth:`lookup` would allocate a Mapping.
+        """
+        return self._cluster[arch]
+
     def present_in(self, arch: int, cluster: int) -> bool:
         """Is the current value of ``arch`` available in ``cluster``?"""
         phys = self._phys[arch]

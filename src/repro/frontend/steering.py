@@ -45,22 +45,39 @@ class Steering:
         table: RenameTable,
         clusters: Sequence["Cluster"],
     ) -> int:
-        """Cluster the steering logic would send ``uop`` to."""
-        counts = [0] * len(clusters)
-        for arch in uop.sources():
-            for c in range(len(clusters)):
-                if table.present_in(arch, c):
-                    counts[c] += 1
-        occ = [cl.iq.occupancy for cl in clusters]
+        """Cluster the steering logic would send ``uop`` to.
 
-        if counts[0] != counts[1]:
-            pref = 0 if counts[0] > counts[1] else 1
+        Specialized for the two-cluster machine (the processor model
+        enforces exactly two clusters); runs once per renamed uop, so it is
+        written allocation-free.
+        """
+        c0 = c1 = 0
+        s1 = uop.src1
+        if s1 >= 0:
+            if table.present_in(s1, 0):
+                c0 += 1
+            if table.present_in(s1, 1):
+                c1 += 1
+            s2 = uop.src2
+            if s2 >= 0:
+                if table.present_in(s2, 0):
+                    c0 += 1
+                if table.present_in(s2, 1):
+                    c1 += 1
+        occ0 = clusters[0].iq.occupancy
+        occ1 = clusters[1].iq.occupancy
+
+        if c0 != c1:
+            pref = 0 if c0 > c1 else 1
         else:
-            pref = 0 if occ[0] <= occ[1] else 1
+            pref = 0 if occ0 <= occ1 else 1
 
-        other = 1 - pref
-        if occ[pref] - occ[other] > self.imbalance_threshold:
-            pref = other
+        threshold = self.imbalance_threshold
+        if pref == 0:
+            if occ0 - occ1 > threshold:
+                pref = 1
+        elif occ1 - occ0 > threshold:
+            pref = 0
         return pref
 
 

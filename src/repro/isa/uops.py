@@ -44,23 +44,25 @@ PORT_INT = 0
 PORT_FP = 1
 PORT_MEM = 2
 
-_PORT_CLASS = {
-    UopClass.INT_ALU: PORT_INT,
-    UopClass.INT_MUL: PORT_INT,
-    UopClass.FP: PORT_FP,
-    UopClass.SIMD: PORT_FP,
-    UopClass.LOAD: PORT_MEM,
-    UopClass.STORE: PORT_MEM,
-    UopClass.BRANCH: PORT_INT,
-    UopClass.COPY: PORT_INT,
-}
+#: Port class per uop class, indexed by ``int(UopClass)``.  A plain tuple
+#: so the cycle loop pays one index instead of an enum hash per lookup.
+PORT_CLASS_TABLE: tuple[int, ...] = (
+    PORT_INT,  # INT_ALU
+    PORT_INT,  # INT_MUL
+    PORT_FP,   # FP
+    PORT_FP,   # SIMD
+    PORT_MEM,  # LOAD
+    PORT_MEM,  # STORE
+    PORT_INT,  # BRANCH
+    PORT_INT,  # COPY
+)
 
 _MEM_CLASSES = frozenset({UopClass.LOAD, UopClass.STORE})
 
 
 def port_class(uop_class: UopClass) -> int:
     """Issue-port class for a uop class."""
-    return _PORT_CLASS[uop_class]
+    return PORT_CLASS_TABLE[uop_class]
 
 
 def is_mem_class(uop_class: UopClass) -> bool:

@@ -82,9 +82,11 @@ class ResourcePolicy:
         consumer plus its copy uops); cluster-insensitive schemes must see
         the whole group to keep their *total* share exact.
         """
-        return all(
-            self.may_dispatch(tid, cl, n) for cl, n in enumerate(needs) if n
-        )
+        may_dispatch = self.may_dispatch
+        for cl, n in enumerate(needs):
+            if n and not may_dispatch(tid, cl, n):
+                return False
+        return True
 
     def may_alloc_reg(
         self, tid: int, regclass: int, cluster: int, needed: int = 1

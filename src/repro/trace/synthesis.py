@@ -450,27 +450,27 @@ class WrongPathSource:
     def __init__(self, trace: Trace) -> None:
         if len(trace) == 0:
             raise ValueError("cannot build a wrong-path source from an empty trace")
-        self._records = trace.records
+        self._cols = trace.columns()
         self._n = len(trace.records)
         self._cursor = 1
 
     def peek_pc(self) -> int:
         """PC of the record the next :meth:`next_record` call will return."""
-        rec = self._records[(self._cursor * self._STRIDE) % self._n]
-        return int(rec["pc"]) | (1 << 40)
+        return self._cols.pc[(self._cursor * self._STRIDE) % self._n] | (1 << 40)
 
     def next_record(self) -> tuple[int, int, int, int, int, bool, int]:
         """Return ``(opclass, dest, src1, src2, pc, taken, mem_line)``."""
-        rec = self._records[(self._cursor * self._STRIDE) % self._n]
+        i = (self._cursor * self._STRIDE) % self._n
         self._cursor += 1
+        cols = self._cols
         return (
-            int(rec["opclass"]),
-            int(rec["dest"]),
-            int(rec["src1"]),
-            int(rec["src2"]),
-            int(rec["pc"]) | (1 << 40),  # distinct PC space for wrong path
-            bool(rec["taken"]),
-            int(rec["mem_line"]),
+            cols.opclass[i],
+            cols.dest[i],
+            cols.src1[i],
+            cols.src2[i],
+            cols.pc[i] | (1 << 40),  # distinct PC space for wrong path
+            cols.taken[i],
+            cols.mem_line[i],
         )
 
 

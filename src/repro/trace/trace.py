@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import NamedTuple
 
 import numpy as np
 
@@ -40,6 +41,29 @@ TRACE_DTYPE = np.dtype(
         ("complex_op", np.uint8), # MROM-decoded complex macro-op
     ]
 )
+
+
+class TraceColumns(NamedTuple):
+    """The trace's fields as plain-Python column lists.
+
+    The fetch stage reads one record per fetched uop; indexing a numpy
+    structured array row-by-row costs a scalar-boxing allocation per field,
+    which profiles as one of the cycle loop's top costs.  Converting each
+    column to a plain list once per trace makes those reads simple list
+    indexing.  Values are identical to the records (ints/bools), so
+    simulation results are unchanged.
+    """
+
+    opclass: list[int]
+    dest: list[int]
+    src1: list[int]
+    src2: list[int]
+    pc: list[int]
+    taken: list[bool]
+    mem_line: list[int]
+    indirect: list[bool]
+    target: list[int]
+    complex_op: list[bool]
 
 
 @dataclass(frozen=True)
@@ -74,9 +98,28 @@ class Trace:
         self.category = category
         self.kind = kind  # "ilp" or "mem" (Table 2 trace classification)
         self.seed = seed
+        self._columns: TraceColumns | None = None
 
     def __len__(self) -> int:
         return len(self.records)
+
+    def columns(self) -> TraceColumns:
+        """Plain-list views of the record fields (built once, then reused)."""
+        if self._columns is None:
+            rec = self.records
+            self._columns = TraceColumns(
+                opclass=rec["opclass"].tolist(),
+                dest=rec["dest"].tolist(),
+                src1=rec["src1"].tolist(),
+                src2=rec["src2"].tolist(),
+                pc=rec["pc"].tolist(),
+                taken=rec["taken"].astype(bool).tolist(),
+                mem_line=rec["mem_line"].tolist(),
+                indirect=rec["indirect"].astype(bool).tolist(),
+                target=rec["target"].tolist(),
+                complex_op=rec["complex_op"].astype(bool).tolist(),
+            )
+        return self._columns
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Trace {self.name} ({self.category}/{self.kind}) {len(self)} uops>"
