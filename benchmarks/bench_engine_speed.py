@@ -86,6 +86,80 @@ def bench_cycle_loop_cdprf(benchmark, speed_log):
     _record(speed_log, "cycle_loop_cdprf", benchmark)
 
 
+#: Run-to-run noise allowance for the telemetry-off guard: the tel=None
+#: path adds one predictable branch per cycle, so anything beyond timer
+#: jitter against the CDPRF baseline is a real regression.
+_NOISE_FACTOR = 1.25
+
+
+def _stored_mean(results_dir, name):
+    """Previously recorded mean for ``name``, or None on first run."""
+    path = results_dir / "engine_speed.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text()).get(name)
+
+
+def bench_cycle_loop_telemetry_off(benchmark, speed_log, results_dir):
+    """CDPRF loop with the telemetry hook left at its default (``None``).
+
+    Guards the zero-cost-when-off contract: with no :class:`Telemetry`
+    attached the cycle loop pays a single ``is not None`` test per cycle,
+    so the mean must stay within noise of the ``cycle_loop_cdprf``
+    baseline.  The same-session mean is preferred as the reference (same
+    machine state); the recorded baseline file is the fallback when this
+    bench runs alone.
+    """
+    traces = _traces()
+    config = baseline_config()
+
+    def run():
+        proc = Processor(config, make_policy("cdprf", interval=1024), traces)
+        while not proc.any_done() and proc.cycle < 100_000:
+            proc.step()
+        return proc.stats.committed
+
+    committed = benchmark(run)
+    assert committed > 0
+    baseline = speed_log.get("cycle_loop_cdprf") or _stored_mean(
+        results_dir, "cycle_loop_cdprf"
+    )
+    _record(speed_log, "cycle_loop_telemetry_off", benchmark)
+    stats = getattr(benchmark, "stats", None)
+    if baseline is not None and stats is not None:
+        mean = stats.stats.mean
+        assert mean <= baseline * _NOISE_FACTOR, (
+            f"telemetry-off cycle loop regressed: {mean:.4f}s vs "
+            f"{baseline:.4f}s baseline (>{_NOISE_FACTOR}x)"
+        )
+
+
+def bench_cycle_loop_telemetry_on(benchmark, speed_log):
+    """Same CDPRF loop with interval sampling + event tracing enabled.
+
+    Not guarded against the baseline — sampling has a real (small) cost;
+    the recorded mean documents it next to ``cycle_loop_telemetry_off``.
+    """
+    from repro.telemetry import Telemetry, TelemetryConfig
+
+    traces = _traces()
+    config = baseline_config()
+    tel_config = TelemetryConfig(sample_interval=1024)
+
+    def run():
+        tel = Telemetry(tel_config)
+        proc = Processor(
+            config, make_policy("cdprf", interval=1024), traces, telemetry=tel
+        )
+        while not proc.any_done() and proc.cycle < 100_000:
+            proc.step()
+        return proc.stats.committed
+
+    committed = benchmark(run)
+    assert committed > 0
+    _record(speed_log, "cycle_loop_telemetry_on", benchmark)
+
+
 def bench_cycle_loop_mem_bound(benchmark, speed_log):
     """MEM-bound pair: exercises the MOB/L2-miss path the ILP pair skips."""
     traces = _mem_traces()

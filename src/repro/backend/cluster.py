@@ -30,6 +30,12 @@ class Cluster:
         )
         self.ports = PortSet()
 
+    def telemetry_row(self) -> tuple[int, int, int]:
+        """(IQ occupancy, int regs in use, fp regs in use) — the per-cluster
+        slice the interval sampler snapshots each period."""
+        files = self.regs.files
+        return self.iq.occupancy, files[0].in_use, files[1].in_use
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<Cluster {self.index}: IQ {self.iq.occupancy}/{self.iq.capacity}, "

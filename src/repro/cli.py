@@ -67,6 +67,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--iq-entries", type=int, default=32)
     p_run.add_argument("--regs", type=int, default=64)
     p_run.add_argument("--json", action="store_true", help="dump full stats as JSON")
+    p_run.add_argument(
+        "--telemetry-out",
+        metavar="DIR",
+        help="collect interval samples + event trace and export CSV/JSONL "
+        "and a Perfetto trace into DIR",
+    )
+    p_run.add_argument(
+        "--sample-interval",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="telemetry sampling period in cycles (default 4096)",
+    )
+    p_run.add_argument(
+        "--trace-events",
+        action="store_true",
+        help="also capture per-uop DEBUG events (steering redirects, "
+        "mispredict resolutions) in the event trace",
+    )
 
     p_fig = sub.add_parser("figure", help="regenerate a figure of the paper")
     p_fig.add_argument("which", choices=sorted(_FIGURES))
@@ -105,6 +124,18 @@ def main(argv: list[str] | None = None) -> int:
         config = (
             baseline_config().with_iq_entries(args.iq_entries).with_regs(args.regs)
         )
+        tel = None
+        if args.telemetry_out:
+            from repro.telemetry import Severity, Telemetry, TelemetryConfig
+
+            tel = Telemetry(
+                TelemetryConfig(
+                    sample_interval=args.sample_interval,
+                    min_severity=(
+                        Severity.DEBUG if args.trace_events else Severity.INFO
+                    ),
+                )
+            )
         res = run_workload(
             config,
             args.policy,
@@ -112,7 +143,21 @@ def main(argv: list[str] | None = None) -> int:
             warmup_uops=runner.scale.warmup_uops,
             prewarm_caches=True,
             max_cycles=runner.scale.max_cycles,
+            telemetry=tel,
         )
+        if tel is not None:
+            paths = tel.export(
+                args.telemetry_out,
+                meta={"policy": res.policy, "workload": res.workload},
+            )
+            assert tel.sampler.columns is not None
+            print(
+                f"[repro] telemetry: {len(tel.sampler.columns)} samples, "
+                f"{len(tel.events)} events -> "
+                f"{', '.join(sorted(p.name for p in paths.values()))} "
+                f"in {args.telemetry_out}",
+                file=sys.stderr,
+            )
         if args.json:
             print(json.dumps(res.stats, indent=1, default=str))
         else:

@@ -28,7 +28,7 @@ thread pays the 14-cycle redirect.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.backend.cluster import Cluster
 from repro.backend.execute import latency_for
@@ -48,6 +48,9 @@ from repro.isa.uops import PORT_CLASS_TABLE
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.policies.base import ResourcePolicy
 from repro.trace.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.telemetry import Telemetry
 
 #: plain-int uop classes for the hot paths
 _LOAD = int(UopClass.LOAD)
@@ -72,6 +75,7 @@ class Processor:
         policy: ResourcePolicy,
         traces: list[Trace],
         steering: Steering | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if len(traces) != config.num_threads:
             raise ValueError(
@@ -121,6 +125,12 @@ class Processor:
         # hook once instead of a getattr per renamed uop
         self._forced_cluster = getattr(policy, "forced_cluster", None)
         policy.attach(self)
+        # observability hook: None by default, so the cycle loop's only cost
+        # when telemetry is off is one identity test per stage-boundary guard
+        self.tel = telemetry
+        if telemetry is not None:
+            telemetry.attach(self)  # after policy.attach — the sampler
+            # introspects policy state (CDPRF partitions) for its schema
 
     # ------------------------------------------------------------------ #
     # register bookkeeping (single funnel so the policy hooks stay exact) #
@@ -150,6 +160,9 @@ class Processor:
         self._rename()
         self._fetch()
         self.stats.cycles += 1
+        tel = self.tel
+        if tel is not None:
+            tel.end_cycle(self)
         if self.cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
             raise DeadlockError(
                 f"no commit for {_WATCHDOG_CYCLES} cycles at cycle {self.cycle}: "
@@ -388,6 +401,11 @@ class Processor:
         ):
             stats.iq_stalls += 1
 
+        if chosen != -1 and chosen != preferred:
+            tel = self.tel
+            if tel is not None:
+                tel.steer_redirect(self.cycle, tid, preferred, chosen, causes[0])
+
         if chosen == -1:
             primary = causes[0]
             stats.rename_stall_cycles[primary] += 1
@@ -397,6 +415,9 @@ class Processor:
                 k = 0 if primary == "rf_int" else 1
                 stats.reg_stall_events[k] += 1
                 self.policy.on_reg_stall(tid, k)
+                tel = self.tel
+                if tel is not None:
+                    tel.note_reg_stall(self.cycle, tid, k)
             return False
 
         self._dispatch_uop(thread, uop, chosen, table)
@@ -606,6 +627,9 @@ class Processor:
             self.cycle + self._mispredict_pipeline,
         )
         self.stats.mispredicts += 1
+        tel = self.tel
+        if tel is not None:
+            tel.mispredict(self.cycle, branch.tid)
 
     def flush_thread(self, thread: ThreadContext, keep_age: int | None = None) -> None:
         """Flush+ primitive: release everything younger than the oldest
@@ -621,6 +645,9 @@ class Processor:
         self._squash_younger(thread, keep_age, rewind=True)
         thread.flushed = True
         self.stats.flushes += 1
+        tel = self.tel
+        if tel is not None:
+            tel.flush(self.cycle, thread.tid, keep_age)
 
     def _squash_younger(
         self, thread: ThreadContext, keep_age: int, rewind: bool
@@ -842,6 +869,10 @@ class Processor:
         self.icn.transfers = 0
         self.icn.queue_wait_cycles = 0
         self.mob.forwards = 0
+        if self.tel is not None:
+            # telemetry covers the measured region only: drop warmup
+            # samples/events and re-baseline the delta counters
+            self.tel.reset(self)
 
     # ------------------------------------------------------------------ #
     # end-of-run summary                                                 #

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.config import ProcessorConfig
 from repro.core.processor import Processor
@@ -23,6 +23,9 @@ from repro.policies.base import ResourcePolicy
 from repro.policies.registry import make_policy
 from repro.trace.trace import Trace
 from repro.trace.workloads import Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.telemetry import Telemetry
 
 _STOP_MODES = ("first_done", "all_done", "cycles")
 
@@ -55,6 +58,7 @@ def run_simulation(
     steering: Steering | None = None,
     warmup_uops: int = 0,
     prewarm_caches: bool = False,
+    telemetry: "Telemetry | None" = None,
 ) -> SimResult:
     """Simulate ``traces`` under ``policy`` until the stop condition.
 
@@ -63,12 +67,15 @@ def run_simulation(
     ``max_cycles``).  ``warmup_uops`` commits that many instructions before
     statistics start counting, so compulsory cache/predictor misses do not
     skew short runs (the paper's traces are long enough not to need this).
+    ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry` hook that
+    collects interval samples and trace events during the measured region;
+    results are unchanged whether or not it is present.
     """
     if stop not in _STOP_MODES:
         raise ValueError(f"stop must be one of {_STOP_MODES}, got {stop!r}")
     if isinstance(policy, str):
         policy = make_policy(policy)
-    proc = Processor(config, policy, traces, steering=steering)
+    proc = Processor(config, policy, traces, steering=steering, telemetry=telemetry)
     if prewarm_caches:
         proc.prewarm_caches()
 

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.config import ProcessorConfig
+from repro.telemetry import TelemetryConfig
 from repro.trace.categories import WorkloadType, category_profile
 from repro.trace.synthesis import generate_trace
 from repro.trace.trace import Trace
@@ -123,7 +124,11 @@ class WorkItem:
 
     Exactly one of ``workload`` (2-thread run) / ``single`` (single-thread
     reference run) is set.  ``key`` is computed by the parent so cache
-    identity cannot drift between parent and worker.
+    identity cannot drift between parent and worker.  When the parent
+    collects telemetry, the item carries the telemetry configuration and
+    base directory; the worker writes the same per-key export directory
+    (and, since telemetry is deterministic, the same bytes) the serial
+    path would.
     """
 
     key: "RunKey"
@@ -133,6 +138,8 @@ class WorkItem:
     stop: str
     workload: WorkloadSpec | None = None
     single: TraceSpec | None = None
+    telemetry: TelemetryConfig | None = None
+    telemetry_dir: str | None = None
 
 
 # --------------------------------------------------------------------------- #
@@ -161,7 +168,13 @@ def _worker_runner(scale: "Scale") -> "ExperimentRunner":
 
 def _run_item(item: WorkItem):
     """Worker entry point: run one simulation, return ``(key, record)``."""
+    from pathlib import Path
+
     runner = _worker_runner(item.scale)
+    # telemetry settings travel per item (the memoized runner is shared by
+    # items from different sweeps, so both fields are assigned every time)
+    runner.telemetry_dir = Path(item.telemetry_dir) if item.telemetry_dir else None
+    runner.telemetry_config = item.telemetry
     if item.single is not None:
         rec = runner.run_single(item.config, _worker_trace(item.single))
     else:
@@ -206,18 +219,29 @@ def shutdown() -> None:
 
 
 class _Progress:
-    """Live ``done/total`` line on stderr (in-place when it is a tty)."""
+    """Live ``done/total`` line on stderr.
+
+    Written to stderr only (never stdout, so ``repro-sim ... | jq`` style
+    pipelines stay clean) and suppressed entirely when neither stdout nor
+    stderr is a terminal — a redirected batch run gets no progress spam in
+    its logs.
+    """
 
     def __init__(self, total: int, jobs: int, label: str) -> None:
         self.total = total
         self.done = 0
         self.label = label
-        self._tty = sys.stderr.isatty()
-        print(
-            f"[repro] {label}: {total} sims on {jobs} workers",
-            file=sys.stderr,
-            flush=True,
-        )
+        try:
+            interactive = sys.stderr.isatty() and sys.stdout.isatty()
+        except (AttributeError, ValueError):
+            interactive = False
+        self._tty = interactive
+        if self._tty:
+            print(
+                f"[repro] {label}: {total} sims on {jobs} workers",
+                file=sys.stderr,
+                flush=True,
+            )
 
     def tick(self, key: "RunKey") -> None:
         self.done += 1
@@ -249,10 +273,21 @@ def run_items(
     """
     if jobs <= 1:
         return 0
+    from repro.telemetry import exports_complete
+
     todo: list[WorkItem] = []
     seen: set[RunKey] = set()
     for item in items:
-        if item.key not in seen and runner._cache_get(item.key) is None:
+        if item.key in seen:
+            continue
+        needs_run = runner._cache_get(item.key) is None
+        if not needs_run and item.telemetry_dir is not None:
+            # cached record but missing telemetry export: re-run (the
+            # simulation is deterministic, so the record is rewritten
+            # bit-identically alongside its telemetry files)
+            teldir = runner.telemetry_path(item.key)
+            needs_run = teldir is not None and not exports_complete(teldir)
+        if needs_run:
             seen.add(item.key)
             todo.append(item)
     if not todo:
@@ -288,6 +323,7 @@ def sweep_items(
     (the serial pass after the prefetch still runs them in-parent).
     """
     items: list[WorkItem] = []
+    tel_cfg, tel_dir = _telemetry_fields(runner)
     for wl in workloads:
         spec = WorkloadSpec.of(wl)
         if spec is None:
@@ -301,6 +337,8 @@ def sweep_items(
                     policy=policy,
                     stop=stop,
                     workload=spec,
+                    telemetry=tel_cfg,
+                    telemetry_dir=tel_dir,
                 )
             )
     return items
@@ -313,6 +351,7 @@ def single_items(
 ) -> list[WorkItem]:
     """Work items for single-thread reference runs (fairness baselines)."""
     items: list[WorkItem] = []
+    tel_cfg, tel_dir = _telemetry_fields(runner)
     for tr in traces:
         try:
             category_profile(tr.category, tr.kind)
@@ -326,6 +365,17 @@ def single_items(
                 policy="icount",
                 stop="all_done",
                 single=TraceSpec.of(tr),
+                telemetry=tel_cfg,
+                telemetry_dir=tel_dir,
             )
         )
     return items
+
+
+def _telemetry_fields(
+    runner: "ExperimentRunner",
+) -> tuple[TelemetryConfig | None, str | None]:
+    """The runner's telemetry settings in WorkItem (picklable) form."""
+    if runner.telemetry_dir is None:
+        return None, None
+    return runner.telemetry_config, str(runner.telemetry_dir)

@@ -36,6 +36,7 @@ from typing import Any, Iterable
 
 from repro.config import ProcessorConfig, baseline_config
 from repro.core.simulator import SimResult, run_simulation
+from repro.telemetry import Telemetry, TelemetryConfig, export_all, exports_complete
 from repro.trace.trace import Trace
 from repro.trace.workloads import Workload, WorkloadPool, build_pool
 
@@ -137,6 +138,8 @@ class ExperimentRunner:
         cache_dir: str | Path | None = None,
         pool: WorkloadPool | None = None,
         jobs: int | None = None,
+        telemetry_dir: str | Path | None = None,
+        telemetry: TelemetryConfig | None = None,
     ) -> None:
         if scale is None:
             scale = scale_from_env()
@@ -148,6 +151,18 @@ class ExperimentRunner:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         if self.cache_dir:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        # Telemetry collection: enabled by telemetry_dir.  Each run exports
+        # into its own subdirectory named after the cache key, so telemetry
+        # identity matches cache identity (and worker processes write the
+        # same bytes the serial path would).  The default sample interval
+        # scales with the run length, like CDPRF's adaptation interval —
+        # every scale gets several samples per run.
+        self.telemetry_dir = Path(telemetry_dir) if telemetry_dir else None
+        self.telemetry_config = telemetry or (
+            TelemetryConfig(sample_interval=max(64, scale.n_uops // 16))
+            if telemetry_dir
+            else None
+        )
         # Worker processes for sweep()/run_singles(); default stays serial
         # unless REPRO_JOBS is set, so library users never fork by surprise.
         from repro.experiments.parallel import resolve_jobs
@@ -256,6 +271,32 @@ class ExperimentRunner:
             return rec
         return None
 
+    def telemetry_path(self, key: RunKey) -> Path | None:
+        """Per-run telemetry export directory (None when disabled)."""
+        if self.telemetry_dir is None:
+            return None
+        return self.telemetry_dir / key.filename()[: -len(".json")]
+
+    def _telemetry_for(self, key: RunKey) -> tuple[Telemetry | None, Path | None]:
+        """A fresh Telemetry hook + its export dir, when collection is on."""
+        teldir = self.telemetry_path(key)
+        if teldir is None:
+            return None, None
+        return Telemetry(self.telemetry_config), teldir
+
+    def _export_telemetry(self, tel: Telemetry, teldir: Path, key: RunKey) -> None:
+        export_all(
+            tel,
+            teldir,
+            meta={
+                "scale": key.scale,
+                "config": key.config,
+                "policy": key.policy,
+                "workload": key.workload,
+                "stop": key.stop,
+            },
+        )
+
     def _cache_put(self, key: RunKey, rec: RunRecord) -> None:
         self._memory[key] = rec
         if self.cache_dir:
@@ -274,10 +315,16 @@ class ExperimentRunner:
         workload: Workload,
         stop: str = "first_done",
     ) -> RunRecord:
-        """Simulate (or fetch from cache) one 2-thread workload."""
+        """Simulate (or fetch from cache) one 2-thread workload.
+
+        With telemetry enabled, a cached record is only honoured when its
+        telemetry export is also on disk; otherwise the simulation re-runs
+        (bit-identical, so the rewritten cache entry does not change).
+        """
         key = self.key_for(config, policy, workload, stop=stop)
+        tel, teldir = self._telemetry_for(key)
         cached = self._cache_get(key)
-        if cached is not None:
+        if cached is not None and (teldir is None or exports_complete(teldir)):
             return cached
         res = run_simulation(
             config,
@@ -288,8 +335,11 @@ class ExperimentRunner:
             workload_name=key.workload,
             warmup_uops=self.scale.warmup_uops,
             prewarm_caches=True,
+            telemetry=tel,
         )
         rec = RunRecord.from_result(res)
+        if tel is not None and teldir is not None:
+            self._export_telemetry(tel, teldir, key)
         self._cache_put(key, rec)
         self.sims_run += 1
         return rec
@@ -297,8 +347,9 @@ class ExperimentRunner:
     def run_single(self, config: ProcessorConfig, trace: Trace) -> RunRecord:
         """Single-thread reference run (fairness denominator), cached."""
         key = self.key_for_single(config, trace)
+        tel, teldir = self._telemetry_for(key)
         cached = self._cache_get(key)
-        if cached is not None:
+        if cached is not None and (teldir is None or exports_complete(teldir)):
             return cached
         res = run_simulation(
             config.with_threads(1),
@@ -309,8 +360,11 @@ class ExperimentRunner:
             workload_name=key.workload,
             warmup_uops=self.scale.warmup_uops // 2,
             prewarm_caches=True,
+            telemetry=tel,
         )
         rec = RunRecord.from_result(res)
+        if tel is not None and teldir is not None:
+            self._export_telemetry(tel, teldir, key)
         self._cache_put(key, rec)
         self.sims_run += 1
         return rec

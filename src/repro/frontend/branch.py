@@ -75,6 +75,11 @@ class GShare:
         self.lookups = 0
         self.correct = 0
 
+    def telemetry_row(self) -> tuple[int, int]:
+        """(lookups, correct) running totals — the interval sampler
+        differences consecutive snapshots for per-interval accuracy."""
+        return self.lookups, self.correct
+
 
 class IndirectPredictor:
     """Indirect-branch target predictor (Table 1: 4096 entries).

@@ -71,3 +71,8 @@ class TraceCache:
         self.hits = 0
         self.misses = 0
         self._itlb.reset_stats()
+
+    def telemetry_row(self) -> tuple[int, int]:
+        """(hits, misses) running totals — the interval sampler differences
+        consecutive snapshots for per-interval hit rates."""
+        return self.hits, self.misses

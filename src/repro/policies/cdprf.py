@@ -99,3 +99,7 @@ class CDPRFPolicy(_RegMeteredCSSP):
                 cap = max(1, self._totals[k] // num_threads)
                 self.threshold[t][k] = max(1, min(avg, cap))
                 self.rfoc[t][k] = 0
+        assert self.proc is not None
+        tel = self.proc.tel
+        if tel is not None:
+            tel.repartition(self.proc.cycle, self.threshold)

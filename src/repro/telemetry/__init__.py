@@ -1,0 +1,57 @@
+"""repro.telemetry — interval time series, event tracing, Perfetto export.
+
+The simulator's observability layer: an interval sampler (per-thread /
+per-cluster time series in columnar buffers), a ring-buffered structured
+event trace with severity filtering, and exporters (CSV / JSONL / Chrome
+``trace_event`` JSON that opens in Perfetto).  A :class:`Telemetry` object
+is threaded through the cycle engine as an optional hook — ``None`` by
+default, so a normal run pays nothing.
+
+Usage::
+
+    from repro import baseline_config, build_pool, run_workload
+    from repro.telemetry import Telemetry, TelemetryConfig
+
+    tel = Telemetry(TelemetryConfig(sample_interval=2048))
+    pool = build_pool(n_uops=8000, n_ilp=1, n_mem=1, n_mix=1, n_mixes_category=2)
+    run_workload(baseline_config(), "cdprf", pool.get("mixes", "mix.2.1"),
+                 telemetry=tel)
+    tel.export("telemetry-out/")        # samples.csv/.jsonl, events.jsonl,
+                                        # trace.json (Perfetto), meta.json
+"""
+
+from repro.telemetry.events import (
+    EVENT_KINDS,
+    FLUSH,
+    MISPREDICT,
+    REPARTITION,
+    STARVE_BEGIN,
+    STARVE_END,
+    STEER_REDIRECT,
+    Event,
+    EventRing,
+    Severity,
+)
+from repro.telemetry.export import chrome_trace, export_all, exports_complete
+from repro.telemetry.sampler import ColumnStore, IntervalSampler
+from repro.telemetry.telemetry import Telemetry, TelemetryConfig
+
+__all__ = [
+    "Telemetry",
+    "TelemetryConfig",
+    "IntervalSampler",
+    "ColumnStore",
+    "Event",
+    "EventRing",
+    "Severity",
+    "EVENT_KINDS",
+    "FLUSH",
+    "REPARTITION",
+    "STEER_REDIRECT",
+    "STARVE_BEGIN",
+    "STARVE_END",
+    "MISPREDICT",
+    "chrome_trace",
+    "export_all",
+    "exports_complete",
+]

@@ -1,0 +1,118 @@
+"""Structured event trace: typed events in a preallocated ring buffer.
+
+Events are the *aperiodic* half of the telemetry subsystem (the periodic
+half is :mod:`repro.telemetry.sampler`): one record per interesting thing
+that happened at a known cycle — a Flush+ flush, a CDPRF re-partition, a
+steering redirect, a register-starvation episode.  The ring is sized at
+construction and never grows, so a pathological run (e.g. a redirect storm
+with DEBUG capture on) degrades to dropping the *oldest* events instead of
+exhausting memory; ``dropped`` records how many were lost.
+
+Severity filtering happens at emit time: events below the telemetry
+configuration's ``min_severity`` are never materialized, so per-uop DEBUG
+events (steering redirects) cost nothing unless explicitly requested
+(``repro-sim run --trace-events``).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterator, NamedTuple, Optional
+
+
+class Severity(IntEnum):
+    """Event severity, lowest first (filter threshold semantics)."""
+
+    DEBUG = 10   # per-uop detail: steering redirects, mispredict resolutions
+    INFO = 20    # scheme-level actions: flushes, re-partitions, starvation
+    WARN = 30    # anomalies: ring overflow, watchdog proximity
+
+
+#: Event kind tags (string-valued so exports are self-describing).
+FLUSH = "flush"
+REPARTITION = "repartition"
+STEER_REDIRECT = "steer_redirect"
+STARVE_BEGIN = "starve_begin"
+STARVE_END = "starve_end"
+MISPREDICT = "mispredict"
+
+EVENT_KINDS = (
+    FLUSH,
+    REPARTITION,
+    STEER_REDIRECT,
+    STARVE_BEGIN,
+    STARVE_END,
+    MISPREDICT,
+)
+
+
+class Event(NamedTuple):
+    """One trace event.  ``tid``/``cluster`` are ``-1`` when not applicable."""
+
+    cycle: int
+    kind: str
+    severity: int
+    tid: int
+    cluster: int
+    data: Optional[dict]
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (flat; ``data`` keys are inlined)."""
+        out = {
+            "cycle": self.cycle,
+            "kind": self.kind,
+            "severity": Severity(self.severity).name.lower(),
+            "tid": self.tid,
+            "cluster": self.cluster,
+        }
+        if self.data:
+            out.update(self.data)
+        return out
+
+
+class EventRing:
+    """Fixed-capacity ring buffer of :class:`Event` records."""
+
+    __slots__ = ("capacity", "_buf", "_count", "dropped")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._buf: list[Event | None] = [None] * capacity
+        self._count = 0   # total ever appended
+        self.dropped = 0
+
+    def append(self, event: Event) -> None:
+        """Store ``event``, evicting the oldest when full."""
+        i = self._count % self.capacity
+        if self._count >= self.capacity:
+            self.dropped += 1
+        self._buf[i] = event
+        self._count += 1
+
+    def clear(self) -> None:
+        """Drop all events (measurement reset); capacity is kept."""
+        for i in range(min(self._count, self.capacity)):
+            self._buf[i] = None
+        self._count = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return min(self._count, self.capacity)
+
+    def __iter__(self) -> Iterator[Event]:
+        """Events oldest-first (survivors only, when the ring wrapped)."""
+        n = self._count
+        cap = self.capacity
+        if n <= cap:
+            for i in range(n):
+                ev = self._buf[i]
+                assert ev is not None
+                yield ev
+        else:
+            start = n % cap
+            for off in range(cap):
+                ev = self._buf[(start + off) % cap]
+                assert ev is not None
+                yield ev

@@ -1,0 +1,189 @@
+"""Telemetry exporters: CSV / JSONL for analysis, Chrome ``trace_event``
+JSON for Perfetto.
+
+All writers are deterministic byte-for-byte given the same collected data
+(sorted JSON keys, fixed column order, ``\\n`` line endings, no
+timestamps or process identity in the output), which is what lets the
+parallel sweep engine collect telemetry in worker processes and still
+satisfy the byte-identical-at-any-``jobs=`` contract.  Files are written
+via temp-file + :func:`os.replace`, and ``meta.json`` is written *last*,
+so a reader (or a concurrent runner sharing the directory) can treat its
+presence as an all-files-complete marker.
+
+The Chrome trace uses one counter track per thread×cluster (issue-queue
+entries owned), per-thread IPC and partition tracks, per-cluster register
+tracks, instant events on per-thread rows, and complete (``X``) slices for
+starvation episodes; one simulated cycle maps to one microsecond of trace
+time.  Open the file at https://ui.perfetto.dev or ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.telemetry.events import STARVE_END
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.telemetry import Telemetry
+
+#: export file names, in write order (meta.json last = completion marker)
+SAMPLES_CSV = "samples.csv"
+SAMPLES_JSONL = "samples.jsonl"
+EVENTS_JSONL = "events.jsonl"
+TRACE_JSON = "trace.json"
+META_JSON = "meta.json"
+
+
+def _atomic_write(path: Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+    return path
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# --------------------------------------------------------------------------- #
+# samples                                                                     #
+# --------------------------------------------------------------------------- #
+
+def samples_csv(tel: "Telemetry") -> str:
+    """The sample table as CSV (header + one row per interval)."""
+    cols = tel.sampler.columns
+    assert cols is not None, "telemetry was never attached"
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(cols.names)
+    for row in cols.rows():
+        writer.writerow([row[name] for name in cols.names])
+    return buf.getvalue()
+
+
+def samples_jsonl(tel: "Telemetry") -> str:
+    """The sample table as JSON Lines (one object per interval)."""
+    cols = tel.sampler.columns
+    assert cols is not None, "telemetry was never attached"
+    return "".join(_dumps(row) + "\n" for row in cols.rows())
+
+
+def events_jsonl(tel: "Telemetry") -> str:
+    """The event trace as JSON Lines, oldest-first."""
+    return "".join(_dumps(ev.as_dict()) + "\n" for ev in tel.events)
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace_event JSON (Perfetto / chrome://tracing)                       #
+# --------------------------------------------------------------------------- #
+
+def chrome_trace(tel: "Telemetry") -> dict:
+    """The run as a Chrome ``trace_event`` document (JSON-ready dict)."""
+    cols = tel.sampler.columns
+    assert cols is not None, "telemetry was never attached"
+    names = set(cols.names)
+    num_threads = sum(1 for n in cols.names if n.startswith("ipc_t"))
+    num_clusters = sum(1 for n in cols.names if n.startswith("iq_c"))
+    has_partitions = "part_int_t0" in names
+
+    evs: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+         "args": {"name": "repro-sim"}},
+    ]
+    machine_tid = num_threads
+    for t in range(num_threads):
+        evs.append({"ph": "M", "name": "thread_name", "pid": 0, "tid": t,
+                    "args": {"name": f"T{t} events"}})
+    evs.append({"ph": "M", "name": "thread_name", "pid": 0,
+                "tid": machine_tid, "args": {"name": "machine events"}})
+
+    def counter(ts: int, name: str, args: dict) -> dict:
+        return {"ph": "C", "pid": 0, "tid": 0, "ts": ts, "name": name,
+                "args": args}
+
+    for row in cols.rows():
+        ts = row["cycle"]
+        for t in range(num_threads):
+            evs.append(counter(ts, f"T{t} IPC", {"ipc": row[f"ipc_t{t}"]}))
+            for c in range(num_clusters):
+                evs.append(counter(
+                    ts, f"T{t}xC{c} IQ", {"entries": row[f"iq_t{t}_c{c}"]}
+                ))
+        for c in range(num_clusters):
+            evs.append(counter(
+                ts, f"C{c} RF",
+                {"int": row[f"rf_int_c{c}"], "fp": row[f"rf_fp_c{c}"]},
+            ))
+        if has_partitions:
+            for t in range(num_threads):
+                evs.append(counter(
+                    ts, f"T{t} RF partition",
+                    {"int": row[f"part_int_t{t}"], "fp": row[f"part_fp_t{t}"]},
+                ))
+
+    for ev in tel.events:
+        tid = ev.tid if 0 <= ev.tid < num_threads else machine_tid
+        if ev.kind == STARVE_END and ev.data:
+            evs.append({
+                "ph": "X", "pid": 0, "tid": tid, "name": "starvation",
+                "ts": ev.data["begin"], "dur": ev.data["duration"],
+                "args": dict(ev.data),
+            })
+        else:
+            evs.append({
+                "ph": "i", "s": "t", "pid": 0, "tid": tid, "name": ev.kind,
+                "ts": ev.cycle, "args": dict(ev.data) if ev.data else {},
+            })
+
+    return {"traceEvents": evs, "displayTimeUnit": "ms"}
+
+
+# --------------------------------------------------------------------------- #
+# one-call export                                                             #
+# --------------------------------------------------------------------------- #
+
+def export_all(
+    tel: "Telemetry", out_dir: str | Path, meta: dict | None = None
+) -> dict[str, Path]:
+    """Write every export format into ``out_dir``; returns name -> path.
+
+    ``meta`` (run identity: policy, workload, config digest, ...) lands in
+    ``meta.json`` together with collection totals.  ``meta.json`` is
+    written last so its presence marks the directory complete.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    cols = tel.sampler.columns
+    assert cols is not None, "telemetry was never attached"
+    paths = {
+        SAMPLES_CSV: _atomic_write(out / SAMPLES_CSV, samples_csv(tel)),
+        SAMPLES_JSONL: _atomic_write(out / SAMPLES_JSONL, samples_jsonl(tel)),
+        EVENTS_JSONL: _atomic_write(out / EVENTS_JSONL, events_jsonl(tel)),
+        TRACE_JSON: _atomic_write(
+            out / TRACE_JSON, json.dumps(chrome_trace(tel), sort_keys=True)
+        ),
+    }
+    summary = {
+        "samples": len(cols),
+        "events": len(tel.events),
+        "dropped_events": tel.events.dropped,
+        "sample_interval": tel.config.sample_interval,
+        "columns": list(cols.names),
+    }
+    if meta:
+        summary.update(meta)
+    paths[META_JSON] = _atomic_write(
+        out / META_JSON, json.dumps(summary, sort_keys=True, indent=1)
+    )
+    return paths
+
+
+def exports_complete(out_dir: str | Path) -> bool:
+    """Does ``out_dir`` hold a finished export (meta.json written last)?"""
+    return (Path(out_dir) / META_JSON).is_file()

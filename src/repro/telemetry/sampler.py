@@ -1,0 +1,195 @@
+"""Interval sampler: periodic per-thread / per-cluster time series.
+
+Every ``interval`` cycles the sampler snapshots the machine into columnar
+buffers (``array`` columns, one per metric — compact, append-only, and
+cheap to serialize), giving the interval-resolution view the paper's
+dynamic schemes are defined over: CDPRF re-partitions off RFOC/Starvation
+counters measured per interval, so convergence and oscillation are only
+visible at this granularity.
+
+The column schema is fixed at :meth:`IntervalSampler.attach` time from the
+machine shape (threads × clusters × register classes) plus, when the
+attached policy exposes CDPRF-style state (``threshold`` / ``rfoc`` /
+``starvation``), the dynamic-partition columns.  Rates (per-thread IPC,
+rename-stall attribution) are interval *deltas* against the previous
+sample, not running totals, so each row describes its own interval.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.stats import STALL_CAUSES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.processor import Processor
+
+#: register-class column suffixes, indexed by regclass
+_KNAMES = ("int", "fp")
+
+
+class ColumnStore:
+    """Named, typed, append-only columns of equal length."""
+
+    __slots__ = ("_names", "_cols")
+
+    def __init__(self, schema: list[tuple[str, str]]) -> None:
+        """``schema`` is ``[(column name, array typecode)]`` — ``'q'`` for
+        integer counters, ``'d'`` for rates."""
+        self._names = tuple(name for name, _ in schema)
+        self._cols = tuple(array(code) for _, code in schema)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._cols[0]) if self._cols else 0
+
+    def append(self, values: list) -> None:
+        """Append one row; ``values`` aligns positionally with the schema."""
+        for col, v in zip(self._cols, values):
+            col.append(v)
+
+    def clear(self) -> None:
+        for col in self._cols:
+            del col[:]
+
+    def column(self, name: str) -> array:
+        return self._cols[self._names.index(name)]
+
+    def row(self, i: int) -> dict:
+        return {name: col[i] for name, col in zip(self._names, self._cols)}
+
+    def rows(self) -> Iterator[dict]:
+        for i in range(len(self)):
+            yield self.row(i)
+
+
+class IntervalSampler:
+    """Snapshots a :class:`Processor` every ``interval`` cycles."""
+
+    __slots__ = (
+        "interval",
+        "columns",
+        "_num_threads",
+        "_num_clusters",
+        "_dyn_policy",
+        "_last_cycle",
+        "_last_committed",
+        "_last_stalls",
+        "_last_frontend",
+    )
+
+    def __init__(self, interval: int) -> None:
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.interval = interval
+        self.columns: ColumnStore | None = None
+        self._dyn_policy = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def attach(self, proc: "Processor") -> None:
+        """Fix the column schema from the machine shape and baseline the
+        delta counters.  Called once, after the policy is attached."""
+        t_range = range(proc.config.num_threads)
+        c_range = range(proc.config.num_clusters)
+        self._num_threads = len(t_range)
+        self._num_clusters = len(c_range)
+        policy = proc.policy
+        self._dyn_policy = (
+            policy
+            if all(hasattr(policy, a) for a in ("threshold", "rfoc", "starvation"))
+            else None
+        )
+
+        schema: list[tuple[str, str]] = [("cycle", "q")]
+        schema += [(f"ipc_t{t}", "d") for t in t_range]
+        schema += [(f"committed_t{t}", "q") for t in t_range]
+        schema += [(f"rob_t{t}", "q") for t in t_range]
+        schema += [(f"fq_t{t}", "q") for t in t_range]
+        schema += [(f"iq_c{c}", "q") for c in c_range]
+        schema += [(f"iq_t{t}_c{c}", "q") for t in t_range for c in c_range]
+        schema += [(f"rf_{k}_c{c}", "q") for k in _KNAMES for c in c_range]
+        schema.append(("copies_inflight", "q"))
+        schema += [(f"stall_{cause}", "q") for cause in STALL_CAUSES]
+        schema += [
+            ("bp_lookups", "q"),
+            ("bp_correct", "q"),
+            ("tc_hits", "q"),
+            ("tc_misses", "q"),
+        ]
+        if self._dyn_policy is not None:
+            for prefix in ("part", "rfoc", "starv"):
+                schema += [
+                    (f"{prefix}_{k}_t{t}", "q") for k in _KNAMES for t in t_range
+                ]
+        self.columns = ColumnStore(schema)
+        self.rebase(proc)
+
+    def rebase(self, proc: "Processor") -> None:
+        """Restart delta counters at the machine's current state (warmup
+        reset); already-collected rows are dropped by the caller."""
+        self._last_cycle = proc.cycle
+        self._last_committed = list(proc.stats.committed_per_thread)
+        self._last_stalls = dict(proc.stats.rename_stall_cycles)
+        self._last_frontend = self._frontend_row(proc)
+
+    def clear(self) -> None:
+        if self.columns is not None:
+            self.columns.clear()
+
+    # -- sampling ---------------------------------------------------------
+
+    def sample(self, proc: "Processor") -> None:
+        """Append one row describing the interval that just ended."""
+        assert self.columns is not None, "sampler not attached"
+        cycle = proc.cycle
+        dt = cycle - self._last_cycle
+        stats = proc.stats
+        committed = stats.committed_per_thread
+
+        row: list = [cycle]
+        # per-thread IPC over the interval just ended
+        last = self._last_committed
+        for t in range(self._num_threads):
+            row.append((committed[t] - last[t]) / dt if dt else 0.0)
+        row.extend(committed)
+        for th in proc.threads:
+            row.append(len(th.rob) if th.rob is not None else 0)
+        for th in proc.threads:
+            row.append(len(th.fetch_queue))
+        cluster_rows = [cl.telemetry_row() for cl in proc.clusters]
+        row.extend(cr[0] for cr in cluster_rows)  # iq_c*
+        for t in range(self._num_threads):
+            for cl in proc.clusters:
+                row.append(cl.iq.per_thread[t])
+        row.extend(cr[1] for cr in cluster_rows)  # rf_int_c*
+        row.extend(cr[2] for cr in cluster_rows)  # rf_fp_c*
+        row.append(proc.icn.pending_count())
+        stalls = stats.rename_stall_cycles
+        last_stalls = self._last_stalls
+        for cause in STALL_CAUSES:
+            row.append(stalls[cause] - last_stalls[cause])
+        frontend = self._frontend_row(proc)
+        last_fe = self._last_frontend
+        row.extend(now - before for now, before in zip(frontend, last_fe))
+        dyn = self._dyn_policy
+        if dyn is not None:
+            for source in (dyn.threshold, dyn.rfoc, dyn.starvation):
+                for k in range(2):
+                    for t in range(self._num_threads):
+                        row.append(source[t][k])
+        self.columns.append(row)
+
+        self._last_cycle = cycle
+        self._last_committed = list(committed)
+        self._last_stalls = dict(stalls)
+        self._last_frontend = frontend
+
+    @staticmethod
+    def _frontend_row(proc: "Processor") -> tuple[int, int, int, int]:
+        """Front-end running totals (differenced into interval columns)."""
+        return proc.predictor.telemetry_row() + proc.tc.telemetry_row()

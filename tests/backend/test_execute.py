@@ -1,7 +1,5 @@
 """Issue port and latency tests."""
 
-import pytest
-
 from repro.backend.execute import PORT_CAPS, PortSet, latency_for
 from repro.config import baseline_config
 from repro.isa import UopClass

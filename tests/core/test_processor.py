@@ -8,7 +8,6 @@ exactness, stable behaviour across policies.
 import numpy as np
 import pytest
 
-from repro.config import baseline_config
 from repro.core.processor import DeadlockError, Processor
 from repro.isa import NO_REG, UopClass
 from repro.policies import POLICY_NAMES, make_policy

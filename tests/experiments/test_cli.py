@@ -40,6 +40,32 @@ def test_run_json_output(capsys):
     assert "imbalance_breakdown" in data
 
 
+def test_run_with_telemetry_export(capsys, tmp_path):
+    out_dir = tmp_path / "tel"
+    code = main(
+        ["run", "--policy", "cdprf", "--category", "mixes", "--scale",
+         "smoke", "--telemetry-out", str(out_dir), "--sample-interval",
+         "256", "--trace-events", "--json"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    json.loads(captured.out)  # --json stdout stays clean JSON
+    assert "telemetry" in captured.err
+    for name in ("samples.csv", "samples.jsonl", "events.jsonl",
+                 "trace.json", "meta.json"):
+        assert (out_dir / name).is_file(), name
+    trace = json.loads((out_dir / "trace.json").read_text())
+    assert trace["traceEvents"]
+
+
+def test_run_rejects_bad_sample_interval():
+    with pytest.raises(ValueError):
+        main(
+            ["run", "--scale", "smoke", "--category", "DH",
+             "--telemetry-out", "/tmp/unused", "--sample-interval", "0"]
+        )
+
+
 def test_run_unknown_category(capsys):
     assert main(["run", "--category", "nope", "--scale", "smoke"]) == 1
 

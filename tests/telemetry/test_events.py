@@ -1,0 +1,95 @@
+"""Event ring + severity filter unit tests."""
+
+import pytest
+
+from repro.telemetry import (
+    STEER_REDIRECT,
+    Event,
+    EventRing,
+    Severity,
+    Telemetry,
+    TelemetryConfig,
+)
+
+
+def _ev(cycle, kind="flush", severity=Severity.INFO, tid=0):
+    return Event(cycle, kind, severity, tid, -1, None)
+
+
+def test_ring_append_and_order():
+    ring = EventRing(8)
+    for c in range(5):
+        ring.append(_ev(c))
+    assert len(ring) == 5
+    assert ring.dropped == 0
+    assert [e.cycle for e in ring] == [0, 1, 2, 3, 4]
+
+
+def test_ring_wraps_evicting_oldest():
+    ring = EventRing(4)
+    for c in range(10):
+        ring.append(_ev(c))
+    assert len(ring) == 4
+    assert ring.dropped == 6
+    # survivors are the newest four, still oldest-first
+    assert [e.cycle for e in ring] == [6, 7, 8, 9]
+
+
+def test_ring_clear():
+    ring = EventRing(4)
+    for c in range(6):
+        ring.append(_ev(c))
+    ring.clear()
+    assert len(ring) == 0 and ring.dropped == 0
+    ring.append(_ev(42))
+    assert [e.cycle for e in ring] == [42]
+
+
+def test_ring_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        EventRing(0)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TelemetryConfig(sample_interval=0)
+    with pytest.raises(ValueError):
+        TelemetryConfig(ring_capacity=-1)
+
+
+def test_severity_filter_at_emit_time():
+    tel = Telemetry(TelemetryConfig(min_severity=Severity.INFO))
+    tel.emit(1, STEER_REDIRECT, Severity.DEBUG, tid=0)
+    assert len(tel.events) == 0  # below threshold: never materialized
+    tel.emit(2, "flush", Severity.INFO, tid=0)
+    assert len(tel.events) == 1
+
+    debug = Telemetry(TelemetryConfig(min_severity=Severity.DEBUG))
+    debug.emit(1, STEER_REDIRECT, Severity.DEBUG, tid=0)
+    assert len(debug.events) == 1
+
+
+def test_events_off_drops_everything():
+    tel = Telemetry(TelemetryConfig(events=False))
+    tel.emit(1, "flush", Severity.WARN, tid=0)
+    assert len(tel.events) == 0
+
+
+def test_event_as_dict_inlines_data():
+    ev = Event(7, "flush", Severity.INFO, 1, -1, {"keep_age": 33})
+    d = ev.as_dict()
+    assert d["cycle"] == 7 and d["severity"] == "info"
+    assert d["keep_age"] == 33
+
+
+def test_starvation_episode_lifecycle():
+    """Consecutive reg-stalls form one episode; a gap closes it."""
+    tel = Telemetry(TelemetryConfig(sample_interval=1 << 30))
+    for cycle in (10, 11, 12):
+        tel.note_reg_stall(cycle, tid=0, regclass=0)
+    # nothing stalled on cycle 13 -> end_cycle closes the episode
+    tel._close_stale_episodes(13)
+    kinds = [e.kind for e in tel.events]
+    assert kinds == ["starve_begin", "starve_end"]
+    end = list(tel.events)[-1]
+    assert end.data == {"regclass": 0, "begin": 10, "duration": 3}

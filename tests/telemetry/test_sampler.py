@@ -1,0 +1,109 @@
+"""Interval sampler tests: schema, deltas, and the no-perturbation contract."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.processor import Processor
+from repro.core.stats import STALL_CAUSES
+from repro.policies import make_policy
+from repro.telemetry import IntervalSampler, Telemetry, TelemetryConfig
+
+
+def _run(config, traces, policy="icount", telemetry=None, max_cycles=2500,
+         **policy_kw):
+    proc = Processor(
+        config, make_policy(policy, **policy_kw), traces, telemetry=telemetry
+    )
+    while not proc.any_done() and proc.cycle < max_cycles:
+        proc.step()
+    return proc
+
+
+def test_sampler_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        IntervalSampler(0)
+
+
+def test_telemetry_does_not_perturb_results(config, ilp_trace, ilp_trace_b):
+    """Stats are field-for-field identical with and without the hook."""
+    traces = [ilp_trace, ilp_trace_b]
+    bare = _run(config, traces)
+    tel = Telemetry(TelemetryConfig(sample_interval=256))
+    observed = _run(config, traces, telemetry=tel)
+    assert bare.cycle == observed.cycle
+    assert dataclasses.asdict(bare.stats) == dataclasses.asdict(observed.stats)
+    assert tel.sampler.columns is not None and len(tel.sampler.columns) > 0
+
+
+def test_sample_rows_are_interval_deltas(config, ilp_trace, ilp_trace_b):
+    """Committed columns are running totals; stall columns are deltas that
+    sum back to the run totals."""
+    tel = Telemetry(TelemetryConfig(sample_interval=200))
+    proc = _run(config, [ilp_trace, ilp_trace_b], telemetry=tel)
+    cols = tel.sampler.columns
+    assert cols is not None
+
+    cycles = cols.column("cycle")
+    assert list(cycles) == sorted(cycles)  # monotonically increasing
+    # each committed_t* column is nondecreasing (running total)
+    for t in range(2):
+        committed = cols.column(f"committed_t{t}")
+        assert list(committed) == sorted(committed)
+        assert committed[-1] <= proc.stats.committed_per_thread[t]
+    # per-interval IPC is consistent with the committed deltas
+    ipc0 = cols.column("ipc_t0")
+    c0 = cols.column("committed_t0")
+    for i in range(1, len(cols)):
+        dt = cycles[i] - cycles[i - 1]
+        assert ipc0[i] == pytest.approx((c0[i] - c0[i - 1]) / dt)
+    # stall columns are deltas: their sum never exceeds the final totals
+    for cause in STALL_CAUSES:
+        total = sum(cols.column(f"stall_{cause}"))
+        assert 0 <= total <= proc.stats.rename_stall_cycles[cause]
+
+
+def test_dynamic_partition_columns_follow_policy(config, ilp_trace,
+                                                 ilp_trace_b):
+    """CDPRF runs get part_/rfoc_/starv_ columns; static policies do not."""
+    traces = [ilp_trace, ilp_trace_b]
+    tel_icount = Telemetry(TelemetryConfig(sample_interval=400))
+    _run(config, traces, telemetry=tel_icount)
+    assert not any(
+        n.startswith("part_") for n in tel_icount.sampler.columns.names
+    )
+
+    tel_cdprf = Telemetry(TelemetryConfig(sample_interval=400))
+    _run(config, traces, policy="cdprf", telemetry=tel_cdprf, interval=512)
+    names = tel_cdprf.sampler.columns.names
+    for prefix in ("part", "rfoc", "starv"):
+        for k in ("int", "fp"):
+            for t in range(2):
+                assert f"{prefix}_{k}_t{t}" in names
+    # partition sizes are live policy state: positive register counts
+    assert all(v > 0 for v in tel_cdprf.sampler.columns.column("part_int_t0"))
+
+
+def test_reset_measurement_drops_warmup_samples(config, ilp_trace,
+                                                ilp_trace_b):
+    """reset_measurement() clears collected rows and re-baselines deltas."""
+    tel = Telemetry(TelemetryConfig(sample_interval=100))
+    proc = Processor(
+        config, make_policy("icount"), [ilp_trace, ilp_trace_b], telemetry=tel
+    )
+    while proc.cycle < 500:
+        proc.step()
+    assert len(tel.sampler.columns) > 0
+    proc.reset_measurement()
+    assert len(tel.sampler.columns) == 0
+    assert len(tel.events) == 0
+    while proc.cycle < 900 and not proc.any_done():
+        proc.step()
+    cols = tel.sampler.columns
+    assert len(cols) > 0
+    # post-reset samples only cover post-reset cycles, and the first row's
+    # stall deltas cannot reference warmup state (all within one interval)
+    assert cols.column("cycle")[0] > 500
+    first = cols.row(0)
+    for cause in STALL_CAUSES:
+        assert 0 <= first[f"stall_{cause}"] <= tel.config.sample_interval * 2

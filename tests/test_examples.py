@@ -25,6 +25,7 @@ def test_examples_exist():
         "scheme_shootout.py",
         "fairness_analysis.py",
         "custom_workload.py",
+        "cdprf_timeline.py",
     } <= names
 
 
@@ -47,3 +48,12 @@ def test_custom_workload_runs(capsys):
     _run_example("custom_workload.py")
     out = capsys.readouterr().out
     assert "partner frac_fp" in out
+
+
+@pytest.mark.slow
+def test_cdprf_timeline_runs(capsys, tmp_path):
+    _run_example("cdprf_timeline.py", [str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "Integer-register partition over time" in out
+    assert (tmp_path / "trace.json").is_file()
+    assert (tmp_path / "samples.csv").is_file()

@@ -9,8 +9,6 @@ every instruction exactly once with no resource leaks.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.trace.categories import WorkloadType
-from repro.trace.workloads import Workload, build_pool
+from repro.trace.workloads import build_pool
 
 # a tiny pool shared by the tests in this module
 @pytest.fixture(scope="module")
