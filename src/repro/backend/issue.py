@@ -71,6 +71,12 @@ class IssueQueue:
         if uop.wait_count == 0 and not uop.issued and not uop.squashed:
             heapq.heappush(self._ready, (uop.age, uop))
 
+    @property
+    def has_candidates(self) -> bool:
+        """Any entry the selector could visit this cycle (ready heap or
+        deferred list; may include lazily deleted entries)."""
+        return bool(self._ready or self._deferred)
+
     def release(self, uop: "Uop") -> None:
         """Free the entry at issue time (or when squashing an un-issued uop)."""
         self.occupancy -= 1

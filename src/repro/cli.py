@@ -86,6 +86,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also capture per-uop DEBUG events (steering redirects, "
         "mispredict resolutions) in the event trace",
     )
+    p_run.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help="step every cycle instead of jumping over provably idle "
+        "windows (results are bit-identical; this exists for validating "
+        "and benchmarking the fast-forward engine)",
+    )
 
     p_fig = sub.add_parser("figure", help="regenerate a figure of the paper")
     p_fig.add_argument("which", choices=sorted(_FIGURES))
@@ -97,6 +104,12 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes (default: REPRO_JOBS or all cores)",
+    )
+    p_fig.add_argument(
+        "--no-fast-forward",
+        action="store_true",
+        help="step every cycle in every simulation (bit-identical results; "
+        "for engine validation)",
     )
     return parser
 
@@ -144,6 +157,7 @@ def main(argv: list[str] | None = None) -> int:
             prewarm_caches=True,
             max_cycles=runner.scale.max_cycles,
             telemetry=tel,
+            fast_forward=False if args.no_fast_forward else None,
         )
         if tel is not None:
             paths = tel.export(
@@ -174,7 +188,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.parallel import resolve_jobs
 
         runner = ExperimentRunner(
-            args.scale, cache_dir=args.cache_dir, jobs=resolve_jobs(args.jobs)
+            args.scale,
+            cache_dir=args.cache_dir,
+            jobs=resolve_jobs(args.jobs),
+            fast_forward=False if args.no_fast_forward else None,
         )
         fig = _FIGURES[args.which](runner)
         print(fig.render())

@@ -61,6 +61,10 @@ _COPY = int(UopClass.COPY)
 #: cycles without a single commit before the watchdog declares deadlock
 _WATCHDOG_CYCLES = 50_000
 
+#: shared immutable empties for the per-cycle hot paths (no allocation)
+_EMPTY_EXCLUDE: frozenset[int] = frozenset()
+_NO_PASSED: list = []
+
 
 class DeadlockError(RuntimeError):
     """The pipeline stopped committing — a simulator invariant was broken."""
@@ -107,6 +111,34 @@ class Processor:
         self._last_commit_cycle = 0
         self._events: dict[int, list[Uop]] = {}
         self._fill_events: dict[int, list[int]] = {}
+        self._n_threads = config.num_threads
+        #: threads whose whole trace has committed; maintained at the only
+        #: place a thread can transition to finished (_commit_uop), making
+        #: any_done/all_done O(1) in the run loop
+        self.finished_count = sum(1 for t in self.threads if t.finished)
+        # --- event-horizon fast-forward state (see step_fast) ---
+        self._rename_attempted = False
+        self.ff_jumps = 0
+        self.ff_skipped_cycles = 0
+        # Tier B bookkeeping: which memoized rename stalls replayed this
+        # cycle, cycle-stamped so the hot path never has to clear them
+        self._cycle_replays: list[tuple[int, str]] = []
+        self._replay_cycle = -1
+        self._fresh_cycle = -1
+        # idle-sum cache for step_fast (cycle-stamped like the replays)
+        self._sum_cycle = -1
+        self._sum_val = 0
+        # --- failed-rename memoization ---
+        # A thread blocked at rename re-runs steering + the full admission
+        # check every cycle on the same head uop.  Both are pure functions
+        # of machine state, so the failure (and its blocking cause) can be
+        # replayed until any state an admission decision reads changes;
+        # _epoch is bumped at every such mutation (dispatch, issue, commit,
+        # squash, L2 fill, policy re-partitions via note_admission_change).
+        self._epoch = 0
+        self._rename_memo: list[tuple[Uop | None, int, str]] = [
+            (None, -1, "") for _ in range(config.num_threads)
+        ]
         # hot-path caches (plain ints beat enum lookups in the cycle loop)
         self._latency = [latency_for(config, UopClass(c)) for c in range(8)]
         self._num_arch_int = NUM_ARCH_INT
@@ -125,6 +157,22 @@ class Processor:
         # hook once instead of a getattr per renamed uop
         self._forced_cluster = getattr(policy, "forced_cluster", None)
         policy.attach(self)
+        # memoization is sound only when steering is stateless (RoundRobin
+        # mutates per query) and the policy declares its admission checks
+        # pure functions of epoch-guarded state
+        self._memo_on = bool(
+            getattr(self.steering, "stateless", False)
+            and getattr(policy, "admission_cycle_invariant", False)
+        )
+        # policies that never restrict a share keep the base class's
+        # always-True admission hooks; resolve that once so the admission
+        # check can skip the calls entirely (Icount skips all three)
+        cls = type(policy)
+        self._dispatch_trivial = (
+            cls.may_dispatch_group is ResourcePolicy.may_dispatch_group
+            and cls.may_dispatch is ResourcePolicy.may_dispatch
+        )
+        self._alloc_trivial = cls.may_alloc_reg is ResourcePolicy.may_alloc_reg
         # observability hook: None by default, so the cycle loop's only cost
         # when telemetry is off is one identity test per stage-boundary guard
         self.tel = telemetry
@@ -169,13 +217,161 @@ class Processor:
                 + "; ".join(repr(t) for t in self.threads)
             )
 
+    def step_fast(self, limit: int) -> None:
+        """One :meth:`step`, then jump over a provably inert idle window.
+
+        The fast path fires only when the cycle just executed was *fully
+        idle*: no completion/fill event was due, the interconnect was empty,
+        rename selection did not even pick a thread, and no forward-progress
+        counter moved.  In that state the machine is frozen — nothing can
+        commit, issue, rename or fetch until some timer fires — so the
+        engine advances straight to the event horizon (:meth:`_jump`),
+        replaying the per-cycle policy bookkeeping arithmetically.  Any
+        component that cannot prove idleness keeps the engine stepping,
+        which is what makes the results bit-identical to :meth:`step`
+        (asserted for every registered policy by the fast-forward test
+        suite).  ``limit`` caps the jump (the caller's ``max_cycles``).
+        """
+        ev = self._events
+        fe = self._fill_events
+        nxt = self.cycle + 1
+        if nxt in ev or nxt in fe or not self.icn.quiescent():
+            self.step()
+            return
+        s = self.stats
+        tc = self.tc
+        # during a frozen window the sum is unchanged from the previous
+        # call's ``after`` — reuse it (cycle-stamped, so any stepping or
+        # stats reset in between invalidates the cache by construction)
+        if self.cycle == self._sum_cycle:
+            before = self._sum_val
+        else:
+            before = (
+                s.committed
+                + s.issued
+                + s.renamed
+                + s.fetched
+                + s.copies_arrived
+                + s.squashed_uops
+                + s.imbalance_cycles
+                + tc.hits
+                + tc.misses
+            )
+        self.step()
+        after = (
+            s.committed
+            + s.issued
+            + s.renamed
+            + s.fetched
+            + s.copies_arrived
+            + s.squashed_uops
+            + s.imbalance_cycles
+            + tc.hits
+            + tc.misses
+        )
+        if after != before:
+            return
+        self._sum_cycle = self.cycle
+        self._sum_val = after
+        if self._rename_attempted:
+            # Tier B: rename selection ran, but every attempt was a memoized
+            # replay of an already-proven failure (same head uop, same
+            # admission epoch).  The machine is still frozen — the identical
+            # stall bookkeeping repeats every cycle until a timer fires — so
+            # the jump replays this cycle's stall set once per skipped cycle.
+            if self._fresh_cycle != self.cycle and self._replay_cycle == self.cycle:
+                self._jump(limit, self._cycle_replays)
+            return
+        self._jump(limit)
+
+    def _jump(self, limit: int, replays: "list[tuple[int, str]] | None" = None) -> None:
+        """Advance to just before the next event; bit-identical replay.
+
+        The horizon is the earliest future cycle at which anything can
+        change: FU/load completions, L2 fills, per-thread fetch/rename
+        unblock timers, the policy's next interval boundary, the telemetry
+        sample boundary, the deadlock watchdog, and the caller's cycle
+        limit.  Every skipped cycle is one where commit, writeback, issue,
+        rename and fetch all provably do nothing, telemetry's end-of-cycle
+        hook is a no-op, and the policy tick is replayed in closed form by
+        ``policy.ff_cycles`` — which may refuse, vetoing the jump.
+
+        ``replays`` (Tier B) is the list of ``(tid, primary cause)`` rename
+        stalls memo-replayed this cycle; each skipped cycle repeats exactly
+        that stall set, so its bookkeeping is applied ``skipped`` more
+        times arithmetically.
+        """
+        cycle = self.cycle
+        horizon = limit
+        ev = self._events
+        if ev:
+            nxt = min(ev)
+            if nxt < horizon:
+                horizon = nxt
+        fe = self._fill_events
+        if fe:
+            nxt = min(fe)
+            if nxt < horizon:
+                horizon = nxt
+        for t in self.threads:
+            blocked = t.fetch_blocked_until
+            if cycle < blocked < horizon:
+                horizon = blocked
+            blocked = t.rename_blocked_until
+            if cycle < blocked < horizon:
+                horizon = blocked
+        policy_horizon = self.policy.ff_horizon(cycle)
+        if policy_horizon is not None and policy_horizon < horizon:
+            horizon = policy_horizon
+        tel = self.tel
+        if tel is not None and tel.ff_horizon() < horizon:
+            horizon = tel.ff_horizon()
+        watchdog = self._last_commit_cycle + _WATCHDOG_CYCLES + 1
+        if watchdog < horizon:
+            horizon = watchdog
+        target = horizon - 1  # the horizon cycle itself is stepped for real
+        if target <= cycle:
+            return
+        if not self.policy.ff_cycles(cycle, target):
+            return
+        skipped = target - cycle
+        self.cycle = target
+        self.stats.cycles += skipped
+        # commit rotates its round-robin start once per cycle regardless of
+        # whether anything committed; replay the rotation arithmetically
+        self._commit_rr = (self._commit_rr + skipped) % self._n_threads
+        if replays:
+            stats = self.stats
+            tel = self.tel
+            for tid, primary in replays:
+                stats.rename_stall_cycles[primary] += skipped
+                if primary == "iq":
+                    stats.iq_stalls += skipped
+                    stats.iq_block_stalls += skipped
+                elif primary == "rf_int" or primary == "rf_fp":
+                    k = 0 if primary == "rf_int" else 1
+                    stats.reg_stall_events[k] += skipped
+                    # per-cycle starvation hooks: the policy veto already ran
+                    # (CDPRF refuses to jump while any thread is starved, so
+                    # on_reg_stall is a no-op here) and the telemetry episode
+                    # only needs its last-stalled cycle advanced to ``target``
+                    if tel is not None:
+                        tel.note_reg_stall(target, tid, k)
+        self.ff_jumps += 1
+        self.ff_skipped_cycles += skipped
+
+    def note_admission_change(self) -> None:
+        """A policy mutated state its admission checks read (e.g. a CDPRF
+        re-partition); invalidates memoized failed-rename decisions."""
+        self._epoch += 1
+
     def all_done(self) -> bool:
         """Every thread has committed its whole trace."""
-        return all(t.finished for t in self.threads)
+        return self.finished_count >= self._n_threads
 
     def any_done(self) -> bool:
         """At least one thread has committed its whole trace."""
-        return any(t.finished for t in self.threads)
+        return self.finished_count > 0
 
     # ------------------------------------------------------------------ #
     # commit                                                             #
@@ -227,6 +423,16 @@ class Processor:
             self.mob.release(uop)
         thread.committed += 1
         self.stats.committed_per_thread[uop.tid] += 1
+        self._epoch += 1
+        # commit is the only transition into `finished` (squash walks always
+        # leave the triggering uop in flight or rewind the cursor)
+        if (
+            not infl
+            and thread.cursor >= thread.n_records
+            and not thread.fetch_queue
+            and not thread.wrong_path
+        ):
+            self.finished_count += 1
         self.policy.on_commit(uop)
 
     # ------------------------------------------------------------------ #
@@ -253,12 +459,15 @@ class Processor:
                 self._wake_consumers(uop.cluster, uop.dest_class, uop.phys_dest)
             if uop.mispredicted and not uop.wrong_path:
                 self._resolve_mispredict(uop)
-        for tid in self._fill_events.pop(self.cycle, ()):
-            t = self.threads[tid]
-            t.l2_pending -= 1
-            if t.l2_pending == 0:
-                t.first_l2_miss_cycle = -1
-                self.policy.on_l2_fill(tid)
+        fills = self._fill_events.pop(self.cycle, None)
+        if fills:
+            self._epoch += 1  # fills can unblock admission (DCRA, Stall)
+            for tid in fills:
+                t = self.threads[tid]
+                t.l2_pending -= 1
+                if t.l2_pending == 0:
+                    t.first_l2_miss_cycle = -1
+                    self.policy.on_l2_fill(tid)
 
     def _deliver_copies(self) -> None:
         for copy in self.icn.tick(self.cycle):
@@ -277,6 +486,11 @@ class Processor:
         passed_per_cluster: list[list[Uop]] = []
         for ci, cl in enumerate(clusters):
             cl.ports.new_cycle()
+            if not cl.iq.has_candidates:
+                # nothing the selector could visit (entries, if any, are all
+                # waiting on operands) — skip the select call entirely
+                passed_per_cluster.append(_NO_PASSED)
+                continue
             issued, passed = cl.iq.select(self._max_scan[ci], self._claimers[ci])
             passed_per_cluster.append(passed)
             any_issued = False
@@ -310,6 +524,7 @@ class Processor:
 
     def _start_execution(self, uop: Uop, cl: Cluster) -> None:
         uop.issued = True
+        self._epoch += 1  # IQ occupancy drops; admission may now pass
         cl.iq.release(uop)
         thread = self.threads[uop.tid]
         thread.icount -= 1
@@ -344,14 +559,25 @@ class Processor:
     # ------------------------------------------------------------------ #
 
     def _rename(self) -> None:
-        excluded: set[int] = set()
-        for _ in range(self.config.num_threads):
-            thread = self.policy.rename_select(self.cycle, frozenset(excluded))
+        # `_rename_attempted` feeds the fast-forward idle test: a cycle in
+        # which selection returns None straight away (threads gated, flushed
+        # or with drained fetch queues) is a candidate for jumping, while a
+        # blocked-but-selectable thread keeps the engine stepping.
+        thread = self.policy.rename_select(self.cycle, _EMPTY_EXCLUDE)
+        if thread is None:
+            self._rename_attempted = False
+            return
+        self._rename_attempted = True
+        if self._rename_thread(thread) > 0:
+            return
+        excluded = {thread.tid}  # structurally blocked; give the slot away
+        for _ in range(self._n_threads - 1):
+            thread = self.policy.rename_select(self.cycle, excluded)
             if thread is None:
                 return
             if self._rename_thread(thread) > 0:
                 return
-            excluded.add(thread.tid)  # structurally blocked; give the slot away
+            excluded.add(thread.tid)
 
     def _rename_thread(self, thread: ThreadContext) -> int:
         width = self._rename_width
@@ -367,47 +593,59 @@ class Processor:
     def _rename_one(self, thread: ThreadContext, uop: Uop) -> bool:
         stats = self.stats
         tid = thread.tid
+        if self._memo_on:
+            memo = self._rename_memo[tid]
+            if memo[0] is uop and memo[1] == self._epoch:
+                # same head uop, no admission-relevant state change since
+                # the last failure: replay the bookkeeping of the recorded
+                # blocking cause instead of re-running steering + admission
+                self._replay_rename_stall(tid, memo[2])
+                return False
+        self._fresh_cycle = self.cycle  # non-memoized attempt: no Tier B jump
         if not thread.rob.can_alloc():
             stats.rename_stall_cycles["rob"] += 1
+            if self._memo_on:
+                self._rename_memo[tid] = (uop, self._epoch, "rob")
             return False
         if (uop.opclass == _LOAD or uop.opclass == _STORE) and not self.mob.can_alloc():
             stats.rename_stall_cycles["mob"] += 1
+            if self._memo_on:
+                self._rename_memo[tid] = (uop, self._epoch, "mob")
             return False
 
         table = thread.rename_table
         forced = self._forced_cluster
         if forced is not None:
             preferred = forced(tid)
-            candidates: tuple[int, ...] = (preferred,)
         else:
             preferred = self.steering.preferred_cluster(uop, table, self.clusters)
-            candidates = (preferred, 1 - preferred)
         uop.preferred_cluster = preferred
 
+        # try the preferred cluster, then (unless the policy pins threads to
+        # clusters) the other; only the preferred cluster's failure cause is
+        # attributed, matching the paper's per-scheme stall taxonomy
         chosen = -1
-        causes: list[str] = []
-        for cand in candidates:
-            cause = self._admission_check(tid, uop, cand, table)
-            if cause is None:
-                chosen = cand
-                break
-            causes.append(cause)
+        first_cause = self._admission_check(tid, uop, preferred, table)
+        if first_cause is None:
+            chosen = preferred
+        elif forced is None and (
+            self._admission_check(tid, uop, 1 - preferred, table) is None
+        ):
+            chosen = 1 - preferred
 
         # Figure 4 counter: the instruction could not go to its preferred
         # cluster because of IQ capacity or the scheme's IQ limit — whether
         # it was redirected to the other cluster or blocked outright.
-        if (chosen != preferred and causes and causes[0] == "iq") or (
-            chosen == -1 and causes[0] == "iq"
-        ):
+        if first_cause == "iq":
             stats.iq_stalls += 1
 
         if chosen != -1 and chosen != preferred:
             tel = self.tel
             if tel is not None:
-                tel.steer_redirect(self.cycle, tid, preferred, chosen, causes[0])
+                tel.steer_redirect(self.cycle, tid, preferred, chosen, first_cause)
 
         if chosen == -1:
-            primary = causes[0]
+            primary = first_cause
             stats.rename_stall_cycles[primary] += 1
             if primary == "iq":
                 stats.iq_block_stalls += 1
@@ -418,10 +656,39 @@ class Processor:
                 tel = self.tel
                 if tel is not None:
                     tel.note_reg_stall(self.cycle, tid, k)
+            if self._memo_on:
+                self._rename_memo[tid] = (uop, self._epoch, primary)
             return False
 
         self._dispatch_uop(thread, uop, chosen, table)
         return True
+
+    def _replay_rename_stall(self, tid: int, primary: str) -> None:
+        """Re-apply the bookkeeping of a memoized rename failure.
+
+        Mirrors the failure tail of :meth:`_rename_one` exactly: the stall
+        attribution, the Figure 4 counters for an IQ block, and the
+        starvation hooks for a register block (``on_reg_stall`` must still
+        fire every cycle — CDPRF's Starvation counter counts consecutive
+        blocked cycles).
+        """
+        cycle = self.cycle
+        if self._replay_cycle != cycle:
+            self._replay_cycle = cycle
+            self._cycle_replays.clear()
+        self._cycle_replays.append((tid, primary))
+        stats = self.stats
+        stats.rename_stall_cycles[primary] += 1
+        if primary == "iq":
+            stats.iq_stalls += 1
+            stats.iq_block_stalls += 1
+        elif primary == "rf_int" or primary == "rf_fp":
+            k = 0 if primary == "rf_int" else 1
+            stats.reg_stall_events[k] += 1
+            self.policy.on_reg_stall(tid, k)
+            tel = self.tel
+            if tel is not None:
+                tel.note_reg_stall(self.cycle, tid, k)
 
     def _admission_check(
         self, tid: int, uop: Uop, cluster: int, table: RenameTable
@@ -443,8 +710,18 @@ class Processor:
             iq1 = 1
         s1 = uop.src1
         if s1 >= 0:
-            if not table.present_in(s1, cluster):
-                if table.home_cluster(s1) == 0:
+            # inlined RenameTable.present_in/home_cluster (this is the
+            # hottest leaf of the rename path: a blocked thread re-checks
+            # its head uop's operands every cycle)
+            home = table._cluster
+            phys = table._phys
+            replica = table._replica
+            if (
+                phys[s1] != READY_EVERYWHERE
+                and home[s1] != cluster
+                and replica[s1] == NO_REG
+            ):
+                if home[s1] == 0:
                     iq0 += 1
                 else:
                     iq1 += 1
@@ -454,8 +731,14 @@ class Processor:
                     reg_fp += 1
             # src2 is only meaningful when src1 is set (Uop.sources contract)
             s2 = uop.src2
-            if s2 >= 0 and s2 != s1 and not table.present_in(s2, cluster):
-                if table.home_cluster(s2) == 0:
+            if (
+                s2 >= 0
+                and s2 != s1
+                and phys[s2] != READY_EVERYWHERE
+                and home[s2] != cluster
+                and replica[s2] == NO_REG
+            ):
+                if home[s2] == 0:
                     iq0 += 1
                 else:
                     iq1 += 1
@@ -480,20 +763,26 @@ class Processor:
             iq = clusters[1].iq
             if iq.capacity - iq.occupancy < iq1:
                 return "iq"
-        if not policy.may_dispatch_group(tid, [iq0, iq1]):
+        # unlimited-share policies (Icount's defaults) are detected once at
+        # construction; skipping their always-True admission calls shaves a
+        # list build plus two dynamic dispatches off every rename attempt
+        if not self._dispatch_trivial and not policy.may_dispatch_group(
+            tid, [iq0, iq1]
+        ):
             return "iq"
+        alloc_trivial = self._alloc_trivial
         files = clusters[cluster].regs.files
         if reg_int:
             f = files[0]
             if not f.unbounded and f.free_count < reg_int:
                 return "rf_int"
-            if not policy.may_alloc_reg(tid, 0, cluster, reg_int):
+            if not alloc_trivial and not policy.may_alloc_reg(tid, 0, cluster, reg_int):
                 return "rf_int"
         if reg_fp:
             f = files[1]
             if not f.unbounded and f.free_count < reg_fp:
                 return "rf_fp"
-            if not policy.may_alloc_reg(tid, 1, cluster, reg_fp):
+            if not alloc_trivial and not policy.may_alloc_reg(tid, 1, cluster, reg_fp):
                 return "rf_fp"
         return None
 
@@ -503,13 +792,21 @@ class Processor:
         tid = thread.tid
         num_int = NUM_ARCH_INT
         files = self.clusters[cluster].regs.files
+        # inlined RenameTable.phys_in/define below: these run once per
+        # renamed uop, and at that rate the method calls plus the Mapping
+        # allocation in define() are measurable
+        tph = table._phys
+        tcl = table._cluster
+        trp = table._replica
         # resolve sources, generating copies for cross-cluster operands; a
         # duplicated source registers two waits (the wakeup delivers two
         # decrements), exactly like the generic sources() loop did
         wait = 0
         s1 = uop.src1
         if s1 >= 0:
-            phys1 = table.phys_in(s1, cluster)
+            phys1 = tph[s1]
+            if phys1 != READY_EVERYWHERE and tcl[s1] != cluster:
+                phys1 = trp[s1]
             if phys1 == NO_REG:
                 phys1 = self._make_copy(thread, uop, s1, cluster, table)
             if phys1 != READY_EVERYWHERE:
@@ -524,7 +821,9 @@ class Processor:
             s2 = uop.src2
             if s2 >= 0:
                 if s2 != s1:
-                    phys2 = table.phys_in(s2, cluster)
+                    phys2 = tph[s2]
+                    if phys2 != READY_EVERYWHERE and tcl[s2] != cluster:
+                        phys2 = trp[s2]
                     if phys2 == NO_REG:
                         phys2 = self._make_copy(thread, uop, s2, cluster, table)
                 else:
@@ -546,11 +845,15 @@ class Processor:
             k = 0 if dest < num_int else 1
             uop.dest_class = k
             phys = self._alloc_reg(tid, k, cluster)
-            prev = table.define(dest, cluster, phys)
+            # table.define(), with the previous mapping recorded straight
+            # into the uop's undo fields
             uop.phys_dest = phys
-            uop.prev_phys = prev.phys
-            uop.prev_phys_cluster = prev.cluster
-            uop.prev_replica = prev.replica
+            uop.prev_phys = tph[dest]
+            uop.prev_phys_cluster = tcl[dest]
+            uop.prev_replica = trp[dest]
+            tcl[dest] = cluster
+            tph[dest] = phys
+            trp[dest] = NO_REG
 
         uop.age = self._age
         self._age += 1
@@ -562,6 +865,7 @@ class Processor:
         thread.inflight.append(uop)
         thread.icount += 1
         self.policy.on_rename(uop)
+        self._epoch += 1  # ROB/MOB/IQ/registers all moved
         stats = self.stats
         stats.renamed += 1
         if uop.wrong_path:
@@ -690,6 +994,7 @@ class Processor:
                 if not uop.wrong_path and uop.seq >= 0:
                     min_seq = uop.seq if min_seq is None else min(min_seq, uop.seq)
             self.policy.on_squash(uop)
+        self._epoch += 1  # every squash releases admission-relevant state
         # drop ROB entries (same set as the non-copy uops above)
         thread.rob.squash_younger_than(keep_age)
         # drain the fetch queue (everything in it is younger than keep_age)
@@ -862,6 +1167,7 @@ class Processor:
         counter the figures read restarts from zero.
         """
         self.stats = SimStats(self.config.num_threads)
+        self._sum_cycle = -1  # the cached idle-sum refers to the old stats
         self.mem.reset_stats()
         self.tc.reset_stats()
         self.predictor.reset_stats()

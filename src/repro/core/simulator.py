@@ -11,6 +11,7 @@ reference runs for the fairness metric).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -28,6 +29,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.telemetry.telemetry import Telemetry
 
 _STOP_MODES = ("first_done", "all_done", "cycles")
+
+
+def fast_forward_default() -> bool:
+    """Fast-forward unless the ``REPRO_FF`` environment says otherwise.
+
+    ``REPRO_FF=0`` (or ``false``/``off``/``no``) is the escape hatch that
+    forces pure cycle stepping everywhere — results are bit-identical
+    either way, so this exists for benchmarking and debugging the engine
+    itself, not for correctness.
+    """
+    return os.environ.get("REPRO_FF", "").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
 
 
 @dataclass(frozen=True)
@@ -59,6 +76,7 @@ def run_simulation(
     warmup_uops: int = 0,
     prewarm_caches: bool = False,
     telemetry: "Telemetry | None" = None,
+    fast_forward: bool | None = None,
 ) -> SimResult:
     """Simulate ``traces`` under ``policy`` until the stop condition.
 
@@ -69,31 +87,54 @@ def run_simulation(
     skew short runs (the paper's traces are long enough not to need this).
     ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry` hook that
     collects interval samples and trace events during the measured region;
-    results are unchanged whether or not it is present.
+    results are unchanged whether or not it is present.  ``fast_forward``
+    selects the event-horizon engine (:meth:`Processor.step_fast`);
+    ``None`` defers to :func:`fast_forward_default` (on unless
+    ``REPRO_FF=0``).  Results are bit-identical either way.
+
+    The stop condition is checked every cycle against the processor's O(1)
+    finished-thread count, so ``first_done``/``all_done`` runs stop at the
+    exact cycle the deciding thread commits its last uop (an earlier
+    engine polled every 16 cycles and could overshoot, skewing ``cycles``
+    and the per-thread IPCs computed from it).
     """
     if stop not in _STOP_MODES:
         raise ValueError(f"stop must be one of {_STOP_MODES}, got {stop!r}")
     if isinstance(policy, str):
         policy = make_policy(policy)
+    use_ff = fast_forward_default() if fast_forward is None else bool(fast_forward)
     proc = Processor(config, policy, traces, steering=steering, telemetry=telemetry)
     if prewarm_caches:
         proc.prewarm_caches()
 
     t0 = time.perf_counter()
-    check_mask = 0xF  # poll stop condition every 16 cycles
     if warmup_uops > 0:
         while proc.cycle < max_cycles and proc.stats.committed < warmup_uops:
-            proc.step()
-            if (proc.cycle & check_mask) == 0 and proc.any_done():
+            if use_ff:
+                proc.step_fast(max_cycles)
+            else:
+                proc.step()
+            if proc.any_done():
                 break
         proc.reset_measurement()
-    while proc.cycle < max_cycles:
-        proc.step()
-        if (proc.cycle & check_mask) == 0 and stop != "cycles":
-            if stop == "first_done" and proc.any_done():
-                break
-            if stop == "all_done" and proc.all_done():
-                break
+    if stop == "first_done":
+        while proc.cycle < max_cycles and not proc.any_done():
+            if use_ff:
+                proc.step_fast(max_cycles)
+            else:
+                proc.step()
+    elif stop == "all_done":
+        while proc.cycle < max_cycles and not proc.all_done():
+            if use_ff:
+                proc.step_fast(max_cycles)
+            else:
+                proc.step()
+    else:  # "cycles"
+        while proc.cycle < max_cycles:
+            if use_ff:
+                proc.step_fast(max_cycles)
+            else:
+                proc.step()
     wall = time.perf_counter() - t0
 
     stats: SimStats = proc.finalize_stats()

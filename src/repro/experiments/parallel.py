@@ -140,6 +140,9 @@ class WorkItem:
     single: TraceSpec | None = None
     telemetry: TelemetryConfig | None = None
     telemetry_dir: str | None = None
+    #: tri-state like ExperimentRunner.fast_forward: None defers to the
+    #: worker's REPRO_FF environment (results are identical either way)
+    fast_forward: bool | None = None
 
 
 # --------------------------------------------------------------------------- #
@@ -175,6 +178,7 @@ def _run_item(item: WorkItem):
     # items from different sweeps, so both fields are assigned every time)
     runner.telemetry_dir = Path(item.telemetry_dir) if item.telemetry_dir else None
     runner.telemetry_config = item.telemetry
+    runner.fast_forward = item.fast_forward
     if item.single is not None:
         rec = runner.run_single(item.config, _worker_trace(item.single))
     else:
@@ -339,6 +343,7 @@ def sweep_items(
                     workload=spec,
                     telemetry=tel_cfg,
                     telemetry_dir=tel_dir,
+                    fast_forward=runner.fast_forward,
                 )
             )
     return items
@@ -367,6 +372,7 @@ def single_items(
                 single=TraceSpec.of(tr),
                 telemetry=tel_cfg,
                 telemetry_dir=tel_dir,
+                fast_forward=runner.fast_forward,
             )
         )
     return items

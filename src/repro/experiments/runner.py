@@ -30,6 +30,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable
@@ -140,6 +141,7 @@ class ExperimentRunner:
         jobs: int | None = None,
         telemetry_dir: str | Path | None = None,
         telemetry: TelemetryConfig | None = None,
+        fast_forward: bool | None = None,
     ) -> None:
         if scale is None:
             scale = scale_from_env()
@@ -168,6 +170,11 @@ class ExperimentRunner:
         from repro.experiments.parallel import resolve_jobs
 
         self.jobs = resolve_jobs(jobs, default=1)
+        # Fast-forward selection for every simulation this runner launches
+        # (None defers to the REPRO_FF environment).  Results are
+        # bit-identical either way; the flag exists so ``--no-fast-forward``
+        # runs can validate the engine against pure stepping.
+        self.fast_forward = fast_forward
         self.sims_run = 0
         self.cache_hits = 0
 
@@ -304,9 +311,21 @@ class ExperimentRunner:
             # Write-then-rename so a concurrent reader (another runner
             # sharing this cache_dir, possibly in another process) only ever
             # sees complete entries; os.replace is atomic within a filesystem.
-            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-            tmp.write_text(json.dumps(dataclasses.asdict(rec)))
-            os.replace(tmp, path)
+            # mkstemp (not a pid-derived name) so two *threads* racing on the
+            # same key in one process cannot share — and steal — a temp file.
+            fd, tmp = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=f".{path.name}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(json.dumps(dataclasses.asdict(rec)))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     def run(
         self,
@@ -336,6 +355,7 @@ class ExperimentRunner:
             warmup_uops=self.scale.warmup_uops,
             prewarm_caches=True,
             telemetry=tel,
+            fast_forward=self.fast_forward,
         )
         rec = RunRecord.from_result(res)
         if tel is not None and teldir is not None:
@@ -361,6 +381,7 @@ class ExperimentRunner:
             warmup_uops=self.scale.warmup_uops // 2,
             prewarm_caches=True,
             telemetry=tel,
+            fast_forward=self.fast_forward,
         )
         rec = RunRecord.from_result(res)
         if tel is not None and teldir is not None:

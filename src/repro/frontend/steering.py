@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
-from repro.frontend.rename import RenameTable
+from repro.backend.regfile import READY_EVERYWHERE
+from repro.frontend.rename import NO_REG, RenameTable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.backend.cluster import Cluster
@@ -35,6 +36,11 @@ class Steering:
     """Stateless chooser over two clusters (kept as a class for ablations)."""
 
     __slots__ = ("imbalance_threshold",)
+
+    #: pure function of (uop, rename table, IQ occupancies)?  The processor
+    #: memoizes failed rename attempts only over stateless steering — a
+    #: stateful chooser (RoundRobinSteering) must see every query.
+    stateless = True
 
     def __init__(self, imbalance_threshold: int = 4) -> None:
         self.imbalance_threshold = imbalance_threshold
@@ -54,15 +60,27 @@ class Steering:
         c0 = c1 = 0
         s1 = uop.src1
         if s1 >= 0:
-            if table.present_in(s1, 0):
+            # inlined RenameTable.present_in: static values and replicated
+            # values count for both clusters, a homed value for its home —
+            # this runs twice per renamed uop on the hottest pipeline path
+            phys = table._phys
+            home = table._cluster
+            replica = table._replica
+            if phys[s1] == READY_EVERYWHERE or replica[s1] != NO_REG:
                 c0 += 1
-            if table.present_in(s1, 1):
+                c1 += 1
+            elif home[s1] == 0:
+                c0 += 1
+            else:
                 c1 += 1
             s2 = uop.src2
             if s2 >= 0:
-                if table.present_in(s2, 0):
+                if phys[s2] == READY_EVERYWHERE or replica[s2] != NO_REG:
                     c0 += 1
-                if table.present_in(s2, 1):
+                    c1 += 1
+                elif home[s2] == 0:
+                    c0 += 1
+                else:
                     c1 += 1
         occ0 = clusters[0].iq.occupancy
         occ1 = clusters[1].iq.occupancy
@@ -85,6 +103,8 @@ class RoundRobinSteering(Steering):
     """Ablation baseline: alternate clusters per renamed uop (Raasch-style)."""
 
     __slots__ = ("_next",)
+
+    stateless = False  # every query advances the rotor
 
     def __init__(self) -> None:
         super().__init__(imbalance_threshold=0)

@@ -21,7 +21,7 @@ exactly once per event (including on squash rollback).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, AbstractSet, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.processor import Processor
@@ -33,6 +33,15 @@ class ResourcePolicy:
     """Base: no limits, round-robin rename selection."""
 
     name = "base"
+
+    #: Declares that :meth:`may_dispatch`/:meth:`may_alloc_reg` (and the
+    #: steering inputs) are pure functions of state guarded by the
+    #: processor's admission epoch — every mutation of that state happens
+    #: inside an epoch-bumping funnel (dispatch/issue/commit/squash/L2
+    #: fill) or calls ``proc.note_admission_change()`` itself.  Only then
+    #: may the processor memoize a failed rename attempt.  Policies that
+    #: read un-guarded state must leave this False.
+    admission_cycle_invariant = False
 
     def __init__(self) -> None:
         self.proc: "Processor | None" = None
@@ -47,13 +56,15 @@ class ResourcePolicy:
     # -- selection --------------------------------------------------------
 
     def rename_select(
-        self, cycle: int, exclude: frozenset[int] = frozenset()
+        self, cycle: int, exclude: AbstractSet[int] = frozenset()
     ) -> Optional["ThreadContext"]:
         """Thread whose instructions are renamed this cycle (None = stall).
 
         ``exclude`` holds threads that already failed a structural check
         this cycle (full ROB/MOB); the processor retries selection so a
-        blocked pick does not waste the whole rename slot.
+        blocked pick does not waste the whole rename slot.  Implementations
+        must not mutate policy state when returning None — the fast-forward
+        engine relies on an empty selection being repeatable.
         """
         assert self.proc is not None
         threads = self.proc.threads
@@ -125,6 +136,29 @@ class ResourcePolicy:
 
     def on_cycle(self, cycle: int) -> None:
         """Start-of-cycle tick."""
+
+    # -- fast-forward (event-horizon) hooks ---------------------------------
+
+    def ff_horizon(self, cycle: int) -> Optional[int]:
+        """First future cycle the policy must observe with a real step.
+
+        Interval-driven policies (CDPRF's re-partition, hill climbing's
+        epoch) return their next boundary so a fast-forward jump never
+        skips it; ``None`` means any idle window may be jumped whole.
+        """
+        return None
+
+    def ff_cycles(self, start: int, end: int) -> bool:
+        """Replay :meth:`on_cycle` for cycles ``(start, end]`` in closed form.
+
+        Called by the fast-forward engine for a window in which the machine
+        is provably frozen (nothing commits, issues, renames or fetches and
+        no policy event hook fires).  Returns True when the replay is exact
+        — the default is exact precisely when ``on_cycle`` is the base
+        no-op, so a subclass that overrides ``on_cycle`` without overriding
+        this hook automatically vetoes every jump (safe, just slow).
+        """
+        return type(self).on_cycle is ResourcePolicy.on_cycle
 
     # -- helpers ------------------------------------------------------------
 

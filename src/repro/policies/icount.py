@@ -10,7 +10,7 @@ paper's Section 5.1 analyses.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, AbstractSet, Optional
 
 from repro.policies.base import ResourcePolicy
 
@@ -23,22 +23,29 @@ class IcountPolicy(ResourcePolicy):
 
     name = "icount"
 
+    # every registry scheme derives from Icount; their admission checks all
+    # read epoch-guarded machine state (occupancies, register usage) plus
+    # interval state that re-partitions through note_admission_change()
+    admission_cycle_invariant = True
+
     def rename_select(
-        self, cycle: int, exclude: frozenset[int] = frozenset()
+        self, cycle: int, exclude: AbstractSet[int] = frozenset()
     ) -> Optional["ThreadContext"]:
         """Pick the eligible thread with the fewest pre-issue uops."""
         assert self.proc is not None
         threads = self.proc.threads
         n = len(threads)
         best: "ThreadContext | None" = None
-        best_key: tuple[int, int] | None = None
+        best_icount = 0
         for off in range(n):
             t = threads[(self._rr + off) % n]
             if t.tid in exclude or not t.can_rename(cycle):
                 continue
-            key = (t.icount, off)  # round-robin tie-break
-            if best_key is None or key < best_key:
-                best, best_key = t, key
+            ic = t.icount
+            # strict < keeps the first-seen thread on ties, which is the
+            # round-robin tie-break (threads are scanned from _rr)
+            if best is None or ic < best_icount:
+                best, best_icount = t, ic
         if best is not None:
             self._rr = (best.tid + 1) % n
         return best

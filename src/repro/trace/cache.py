@@ -1,0 +1,157 @@
+"""On-disk cache of synthesized trace record arrays.
+
+Trace synthesis is deterministic — ``(profile, seed, n_uops)`` fully
+determines the emitted record array — but it is not free: building the
+static program and walking it dominates worker startup in parallel sweeps,
+and every process in the pool re-synthesizes the same handful of traces.
+This module gives :func:`~repro.trace.synthesis.generate_trace` a shared
+content-addressed store so the second and later builds (in this process or
+any other) load the finished ``.npz`` from disk instead.
+
+Design points:
+
+* **Keying** — sha256 over a canonical JSON encoding of the profile's
+  fields plus the seed, the uop count, the record dtype layout and a
+  format version.  Any change to the profile dataclass, the dtype or the
+  generator's serialization bumps the digest, so stale entries can never
+  be returned; they are merely never hit again.
+* **Atomicity** — writes go to a ``mkstemp`` sibling and ``os.replace``
+  onto the final name, so concurrent sweep workers racing on a cold cache
+  either see a complete file or none at all (the loser of the race just
+  overwrites with identical bytes).
+* **Corruption tolerance** — any failure to load (truncated file, bad
+  magic, wrong dtype, wrong length) unlinks the entry and reports a miss;
+  the caller re-synthesizes and re-stores.
+* **Opt-out** — ``REPRO_TRACE_CACHE`` names the cache directory; setting
+  it to ``0``/``off``/an empty string disables the cache entirely.  The
+  default location is ``~/.cache/repro/traces``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.trace.trace import TRACE_DTYPE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.synthesis import TraceProfile
+
+#: bump when the synthesis algorithm changes in a way that alters emitted
+#: records for an unchanged (profile, seed, n_uops) key
+_FORMAT_VERSION = 1
+
+_ENV_VAR = "REPRO_TRACE_CACHE"
+_DISABLED = ("", "0", "off", "false", "no")
+
+#: process-wide counters, reset by tests; ``hits``/``misses`` count lookup
+#: outcomes, ``stores`` successful writes
+stats = {"hits": 0, "misses": 0, "stores": 0}
+
+
+def reset_stats() -> None:
+    """Zero the hit/miss/store counters (test isolation)."""
+    stats["hits"] = stats["misses"] = stats["stores"] = 0
+
+
+def cache_dir() -> Path | None:
+    """Resolved cache directory, or ``None`` when caching is disabled."""
+    env = os.environ.get(_ENV_VAR)
+    if env is not None:
+        if env.strip().lower() in _DISABLED:
+            return None
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+def trace_key(profile: "TraceProfile", seed: int, n_uops: int) -> str:
+    """Content digest identifying one deterministic synthesis output."""
+    payload = json.dumps(
+        {
+            "format": _FORMAT_VERSION,
+            "dtype": TRACE_DTYPE.descr,
+            "profile": asdict(profile),
+            "seed": seed,
+            "n_uops": n_uops,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _entry_path(root: Path, key: str) -> Path:
+    return root / f"{key}.npz"
+
+
+def load_records(key: str, n_uops: int) -> "np.ndarray | None":
+    """Cached record array for ``key``, or ``None`` on miss/corruption."""
+    root = cache_dir()
+    if root is None:
+        return None
+    path = _entry_path(root, key)
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            records = npz["records"]
+        if records.dtype != TRACE_DTYPE or len(records) != n_uops:
+            raise ValueError("cache entry does not match its key")
+    except FileNotFoundError:
+        stats["misses"] += 1
+        return None
+    except Exception:
+        # truncated/corrupt/foreign file: drop it and treat as a miss
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        stats["misses"] += 1
+        return None
+    stats["hits"] += 1
+    return records
+
+
+def store_records(key: str, records: "np.ndarray") -> bool:
+    """Atomically persist ``records`` under ``key``; False when disabled
+    or the filesystem refuses (a full or read-only cache is not an error)."""
+    root = cache_dir()
+    if root is None:
+        return False
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, records=records)
+            os.replace(tmp, _entry_path(root, key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False
+    stats["stores"] += 1
+    return True
+
+
+def clear() -> int:
+    """Delete every cache entry; returns the number removed."""
+    root = cache_dir()
+    if root is None or not root.is_dir():
+        return 0
+    n = 0
+    for path in root.glob("*.npz"):
+        try:
+            path.unlink()
+            n += 1
+        except OSError:
+            pass
+    return n

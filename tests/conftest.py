@@ -11,6 +11,29 @@ import pytest
 from repro.config import baseline_config
 from repro.trace.synthesis import TraceProfile, generate_trace
 
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_trace_cache(tmp_path_factory):
+    """Point the trace-synthesis cache at a per-session temp directory.
+
+    Keeps the suite hermetic (no reads from, or writes to, the user's
+    ``~/.cache/repro/traces``) while still exercising the cache code paths
+    that :func:`repro.trace.synthesis.generate_trace` goes through.
+    """
+    import os
+
+    from repro.trace import cache
+
+    old = os.environ.get("REPRO_TRACE_CACHE")
+    os.environ["REPRO_TRACE_CACHE"] = str(tmp_path_factory.mktemp("trace-cache"))
+    cache.reset_stats()
+    yield
+    if old is None:
+        os.environ.pop("REPRO_TRACE_CACHE", None)
+    else:
+        os.environ["REPRO_TRACE_CACHE"] = old
+
+
 # A compact, fast default machine for tests: the Table 1 baseline.
 @pytest.fixture(scope="session")
 def config():
@@ -92,6 +115,11 @@ def ilp_trace_b(ilp_profile):
 @pytest.fixture(scope="session")
 def mem_trace(mem_profile):
     return generate_trace(mem_profile, seed=17, n_uops=3000, kind="mem")
+
+
+@pytest.fixture(scope="session")
+def mem_trace_b(mem_profile):
+    return generate_trace(mem_profile, seed=29, n_uops=3000, kind="mem")
 
 
 @pytest.fixture(scope="session")

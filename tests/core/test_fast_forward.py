@@ -1,0 +1,152 @@
+"""The event-horizon fast-forward engine's bit-identity contract.
+
+``Processor.step_fast`` may only jump over windows where the machine is
+provably frozen, so a fast-forwarded run must produce *exactly* the same
+statistics — every counter, not just IPC — as stepping each cycle.  These
+tests pin that contract for every registered policy, over ILP-, MEM- and
+mixed-bound workloads, with and without telemetry attached, and pin the
+exact-stop behaviour of :func:`run_simulation` that the engine's run loops
+rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.processor import Processor
+from repro.core.simulator import fast_forward_default, run_simulation
+from repro.policies import POLICY_NAMES, make_policy
+from repro.telemetry import Telemetry, TelemetryConfig
+
+
+def _policy(name):
+    # a quick-scale adaptation interval so CDPRF actually re-partitions
+    # (and its interval-boundary ff_horizon actually fires) in short runs
+    return make_policy(name, interval=1024) if name == "cdprf" else make_policy(name)
+
+
+def _run(config, policy_name, traces, fast_forward, telemetry=False):
+    tel = Telemetry(TelemetryConfig(sample_interval=512)) if telemetry else None
+    return run_simulation(
+        config,
+        _policy(policy_name),
+        list(traces),
+        max_cycles=60_000,
+        warmup_uops=300,
+        prewarm_caches=True,
+        telemetry=tel,
+        fast_forward=fast_forward,
+    )
+
+
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+@pytest.mark.parametrize("kind", ["ilp", "mem", "mix"])
+def test_bit_identical_stats(config, policy, kind, ilp_trace, ilp_trace_b, mem_trace):
+    """Every policy, every workload kind: identical full stats dicts."""
+    traces = {
+        "ilp": [ilp_trace, ilp_trace_b],
+        "mem": [mem_trace, ilp_trace_b],
+        "mix": [ilp_trace, mem_trace],
+    }[kind]
+    slow = _run(config, policy, traces, fast_forward=False)
+    fast = _run(config, policy, traces, fast_forward=True)
+    assert fast.cycles == slow.cycles
+    assert fast.committed == slow.committed
+    assert fast.committed_per_thread == slow.committed_per_thread
+    assert fast.stats == slow.stats
+
+
+@pytest.mark.parametrize("policy", ["icount", "stall", "cdprf"])
+def test_bit_identical_with_telemetry(config, policy, ilp_trace, mem_trace):
+    """Telemetry attached: stats stay identical (and the sampler's jump
+    horizon keeps samples on their exact cycles)."""
+    traces = [ilp_trace, mem_trace]
+    slow = _run(config, policy, traces, fast_forward=False, telemetry=True)
+    fast = _run(config, policy, traces, fast_forward=True, telemetry=True)
+    assert fast.stats == slow.stats
+
+
+def test_telemetry_export_bytes_identical(config, mem_trace, fp_trace, tmp_path):
+    """The exported telemetry artifacts — interval samples, event trace —
+    are byte-for-byte identical with and without fast-forward."""
+    out = {}
+    for label, ff in (("off", False), ("on", True)):
+        tel = Telemetry(TelemetryConfig(sample_interval=512))
+        run_simulation(
+            config,
+            make_policy("stall"),
+            [mem_trace, fp_trace],
+            max_cycles=60_000,
+            prewarm_caches=True,
+            telemetry=tel,
+            fast_forward=ff,
+        )
+        out[label] = tel.export(tmp_path / label, meta={"run": "ff-identity"})
+    assert out["on"].keys() == out["off"].keys()
+    for name, path_on in out["on"].items():
+        on_bytes = path_on.read_bytes()
+        off_bytes = out["off"][name].read_bytes()
+        assert on_bytes == off_bytes, f"{name} export differs under fast-forward"
+
+
+def test_fast_forward_actually_jumps(config, mem_trace, mem_trace_b):
+    """Stall-gated MEM runs spend most cycles frozen; the engine must
+    actually exploit that (a jump-free engine would trivially pass the
+    identity tests)."""
+    for policy in ("stall", "flush+"):
+        proc = Processor(config, make_policy(policy), [mem_trace, mem_trace_b])
+        while not proc.any_done() and proc.cycle < 100_000:
+            proc.step_fast(100_000)
+        assert proc.ff_jumps > 0
+        assert proc.ff_skipped_cycles > 1000, (
+            f"{policy}: only {proc.ff_skipped_cycles} cycles fast-forwarded"
+        )
+
+
+def test_fast_forward_env_default(monkeypatch):
+    monkeypatch.delenv("REPRO_FF", raising=False)
+    assert fast_forward_default() is True
+    for off in ("0", "false", "off", "no", " OFF "):
+        monkeypatch.setenv("REPRO_FF", off)
+        assert fast_forward_default() is False
+    monkeypatch.setenv("REPRO_FF", "1")
+    assert fast_forward_default() is True
+
+
+def test_first_done_stops_exactly(config, ilp_trace, mem_trace):
+    """``run_simulation`` stops on the commit cycle of the deciding thread.
+
+    The pinned value is a regression guard for the old 16-cycle stop-poll,
+    which overshot by up to 15 cycles and skewed ``cycles`` (and with it
+    every per-thread IPC) — the exact cycle is asserted against a manual
+    cycle-by-cycle loop, then pinned.
+    """
+    res = run_simulation(config, "icount", [ilp_trace, mem_trace])
+    proc = Processor(config, make_policy("icount"), [ilp_trace, mem_trace])
+    while not proc.any_done():
+        proc.step()
+    assert res.cycles == proc.cycle
+    assert res.cycles == 2726  # pinned: exact commit cycle of thread 0
+
+
+def test_all_done_stops_exactly(config, ilp_trace, ilp_trace_b):
+    res = run_simulation(config, "icount", [ilp_trace, ilp_trace_b], stop="all_done")
+    proc = Processor(config, make_policy("icount"), [ilp_trace, ilp_trace_b])
+    while not proc.all_done():
+        proc.step()
+    assert res.cycles == proc.cycle
+    assert res.cycles == 2599  # pinned
+
+
+def test_stop_mode_cycles_unaffected(config, ilp_trace, mem_trace):
+    """stop="cycles" runs exactly max_cycles with either engine."""
+    for ff in (False, True):
+        res = run_simulation(
+            config,
+            "stall",
+            [ilp_trace, mem_trace],
+            max_cycles=5_000,
+            stop="cycles",
+            fast_forward=ff,
+        )
+        assert res.cycles == 5_000
