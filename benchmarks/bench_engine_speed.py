@@ -249,6 +249,111 @@ def bench_sweep_smoke(benchmark, speed_log):
     _record(speed_log, "sweep_smoke", benchmark)
 
 
+def _smoke_pool():
+    from repro.trace.workloads import build_pool
+
+    return build_pool(n_uops=2500, n_ilp=1, n_mem=1, n_mix=0,
+                      n_mixes_category=0, categories=("ISPEC00",))
+
+
+_SWEEP_POLICIES = ["icount", "cssp"]
+
+
+def bench_sweep_smoke_jobs1(benchmark, speed_log):
+    """The serial sweep reference the parallel engine is measured against."""
+    from repro.experiments.runner import ExperimentRunner, figure2_config
+
+    config = figure2_config(32)
+    pool = _smoke_pool()
+
+    def run():
+        runner = ExperimentRunner("smoke", pool=pool, jobs=1)
+        return len(runner.sweep(config, _SWEEP_POLICIES))
+
+    n = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert n == 4
+    _record(speed_log, "sweep_smoke_jobs1", benchmark)
+
+
+def bench_sweep_smoke_jobs4(benchmark, speed_log):
+    """The sweep engine at jobs=4: persistent pool, shm traces, LPT.
+
+    The first round pays worker spawn; later rounds reuse the warm pool,
+    so the mean reflects steady-state sweep cost.  On a single-core host
+    the ratio to ``sweep_smoke_jobs1`` mostly measures engine overhead;
+    on a multicore host it measures real speedup.
+    """
+    from repro.experiments import parallel
+    from repro.experiments.runner import ExperimentRunner, figure2_config
+
+    parallel.shutdown()  # charge pool spawn to this bench, not a predecessor
+    config = figure2_config(32)
+    pool = _smoke_pool()
+
+    def run():
+        runner = ExperimentRunner("smoke", pool=pool, jobs=4)
+        return len(runner.sweep(config, _SWEEP_POLICIES))
+
+    n = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert n == 4
+    _record(speed_log, "sweep_smoke_jobs4", benchmark)
+    parallel.shutdown()
+
+
+def bench_sweep_fifo_jobs4(benchmark, speed_log):
+    """The scheme this engine replaced: a fresh pool per sweep, FIFO
+    submission of every item at once, no shared-memory traces (each worker
+    rebuilds from seeds).  The ratio to ``sweep_smoke_jobs4`` is the
+    engine's win at equal job count."""
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    from repro.experiments import parallel
+    from repro.experiments.runner import ExperimentRunner, figure2_config
+
+    config = figure2_config(32)
+    pool = _smoke_pool()
+
+    def run():
+        runner = ExperimentRunner("smoke", pool=pool)
+        items = parallel.sweep_items(
+            runner, config, _SWEEP_POLICIES, list(pool)
+        )
+        with ProcessPoolExecutor(max_workers=4) as ex:
+            futs = [ex.submit(parallel._run_item, it, None) for it in items]
+            for fut in as_completed(futs):
+                key, rec, _seconds, _pid = fut.result()
+                runner._cache_put(key, rec)
+        return len(runner.sweep(config, _SWEEP_POLICIES))
+
+    n = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert n == 4
+    _record(speed_log, "sweep_smoke_fifo_jobs4", benchmark)
+
+
+def bench_sweep_resume_overhead(benchmark, speed_log, tmp_path_factory):
+    """A fully-journaled --resume sweep with nothing left to run: the cost
+    of loading the journal and validating every key against the cache."""
+    from repro.experiments.runner import ExperimentRunner, figure2_config
+
+    config = figure2_config(32)
+    pool = _smoke_pool()
+    cache_dir = tmp_path_factory.mktemp("resume-bench")
+    warm = ExperimentRunner("smoke", pool=pool, cache_dir=cache_dir)
+    warm.sweep(config, _SWEEP_POLICIES)
+
+    def run():
+        runner = ExperimentRunner(
+            "smoke", pool=pool, cache_dir=cache_dir, resume=True
+        )
+        result = runner.sweep(config, _SWEEP_POLICIES)
+        assert runner.sims_run == 0
+        return len(result)
+
+    n = benchmark(run)
+    assert n == 4
+    _record(speed_log, "sweep_resume_overhead", benchmark)
+
+
 def bench_trace_generation(benchmark):
     profile = category_profile("server", "mem")
 

@@ -111,6 +111,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="step every cycle in every simulation (bit-identical results; "
         "for engine validation)",
     )
+    p_fig.add_argument(
+        "--resume",
+        action="store_true",
+        help="trust the sweep journal in --cache-dir and re-run only the "
+        "simulations it does not list as complete",
+    )
     return parser
 
 
@@ -192,6 +198,7 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=args.cache_dir,
             jobs=resolve_jobs(args.jobs),
             fast_forward=False if args.no_fast_forward else None,
+            resume=args.resume,
         )
         fig = _FIGURES[args.which](runner)
         print(fig.render())

@@ -140,7 +140,9 @@ def table2_workloads(runner: ExperimentRunner) -> FigureResult:
 def _iq_study_runs(
     runner: ExperimentRunner, iq_entries: int, schemes: Iterable[str] = IQ_SCHEMES
 ) -> dict[tuple[str, str, str], RunRecord]:
-    return runner.sweep(figure2_config(iq_entries), schemes)
+    return runner.sweep(
+        figure2_config(iq_entries), schemes, label=f"IQ study @{iq_entries}"
+    )
 
 
 def figure2_iq_throughput(runner: ExperimentRunner) -> FigureResult:
@@ -249,12 +251,14 @@ def figure5_imbalance(runner: ExperimentRunner) -> FigureResult:
 def figure6_regfile(runner: ExperimentRunner) -> FigureResult:
     """Figure 6: CSSP vs CSSPRF vs CISPRF at 64 and 128 registers per
     cluster, normalized per workload to Icount with 64 registers."""
-    base_runs = runner.sweep(figure6_config(64), ["icount"])
+    base_runs = runner.sweep(figure6_config(64), ["icount"], label="fig6 baseline")
     base = {k[1:]: r.ipc for k, r in base_runs.items()}
     columns: list[str] = []
     values: dict[str, dict[tuple[str, str], float]] = {}
     for regs in (64, 128):
-        runs = runner.sweep(figure6_config(regs), RF_SCHEMES)
+        runs = runner.sweep(
+            figure6_config(regs), RF_SCHEMES, label=f"fig6 RF study @{regs}regs"
+        )
         for pol in RF_SCHEMES:
             col = f"{pol}@{regs}"
             columns.append(col)
@@ -281,7 +285,7 @@ def figure9_cdprf(runner: ExperimentRunner, per_type: int = 4) -> FigureResult:
     normalized to Icount; plus the AVG row."""
     pool = runner.ispec_fspec_pool(per_type)
     config = figure6_config(64)
-    runs = runner.sweep(config, ("icount", *FIG9_SCHEMES), pool)
+    runs = runner.sweep(config, ("icount", *FIG9_SCHEMES), pool, label="fig9 CDPRF")
     base = {
         (w.category, w.name): runs[("icount", w.category, w.name)].ipc for w in pool
     }
@@ -328,8 +332,12 @@ def figure10_fairness(runner: ExperimentRunner) -> FigureResult:
     # Prefetch: every pair run and every single-thread reference is
     # independent, so fill the cache on the worker pool first (no-ops when
     # runner.jobs == 1); the loop below then only reads cache.
-    runner.sweep(config, ("icount", *FAIRNESS_SCHEMES))
-    runner.run_singles(config, [tr for w in runner.pool for tr in w.traces])
+    runner.sweep(config, ("icount", *FAIRNESS_SCHEMES), label="fig10 fairness")
+    runner.run_singles(
+        config,
+        [tr for w in runner.pool for tr in w.traces],
+        label="fig10 single-thread refs",
+    )
     values: dict[str, dict[tuple[str, str], float]] = {c: {} for c in columns}
     for w in runner.pool:
         base_fair = _workload_fairness(runner, config, "icount", w)
@@ -357,9 +365,9 @@ def headline_numbers(runner: ExperimentRunner) -> FigureResult:
     +17.6%, with CSSP contributing ~16% and the dynamic RF ~1.6%) and
     fairness vs Icount (paper: +24%)."""
     config = figure6_config(64)
-    icount = runner.sweep(config, ["icount"])
-    cssp = runner.sweep(config, ["cssp"])
-    cdprf = runner.sweep(config, ["cdprf"])
+    icount = runner.sweep(config, ["icount"], label="headline icount")
+    cssp = runner.sweep(config, ["cssp"], label="headline cssp")
+    cdprf = runner.sweep(config, ["cdprf"], label="headline cdprf")
 
     def _speedup(runs):
         return mean(

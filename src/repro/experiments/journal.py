@@ -1,0 +1,95 @@
+"""Sweep checkpoint journal: crash-safe record of completed RunKeys.
+
+A figure regeneration at paper scale is hours of independent simulations;
+when the process dies (OOM killer, preempted node, Ctrl-C) the result
+cache holds everything that finished, but nothing *says so* — a restart
+must re-validate every cache entry, and with telemetry enabled re-scan
+every export directory, before it knows what is left.  The journal makes
+completion explicit: one JSON line per finished
+:class:`~repro.experiments.runner.RunKey`, appended (and flushed) only
+after the run's cache entry **and** its telemetry exports are durably on
+disk.  ``--resume`` then loads the journal and re-executes exactly the
+missing keys.
+
+Properties:
+
+* **Append-only, single-``write`` lines** — a killed writer can at worst
+  leave one truncated final line, which :meth:`SweepJournal.load` skips;
+  every complete line is trustworthy.
+* **Journal ⊆ cache** — a key is marked only after its cache entry is
+  written, so resume never trusts a record that is not actually there
+  (and :mod:`repro.experiments.parallel` double-checks the cache anyway).
+* **Monotonic** — marks are deduplicated in-process and simply accumulate
+  across runs; the journal lives next to the cache
+  (``<cache_dir>/sweep.journal``) and is deleted with it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Set, TextIO
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import RunKey
+
+JOURNAL_NAME = "sweep.journal"
+
+
+class SweepJournal:
+    """Append-only completion log for one cache directory."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: TextIO | None = None
+        self._marked: Set["RunKey"] = set()
+
+    def load(self) -> set["RunKey"]:
+        """Every key recorded by a complete journal line.
+
+        Unparsable lines (truncated tail of a killed writer, foreign
+        garbage) are skipped — resume then merely re-runs those items.
+        """
+        from repro.experiments.runner import RunKey
+
+        done: set[RunKey] = set()
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return done
+        fields = {f.name for f in dataclasses.fields(RunKey)}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                if not isinstance(data, dict) or set(data) != fields:
+                    continue
+                done.add(RunKey(**data))
+            except (ValueError, TypeError):
+                continue
+        return done
+
+    def mark(self, key: "RunKey") -> None:
+        """Record ``key`` as complete (idempotent per process)."""
+        if key in self._marked:
+            return
+        self._marked.add(key)
+        try:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(json.dumps(dataclasses.asdict(key)) + "\n")
+            self._fh.flush()
+        except OSError:  # journal is best-effort; never fail the sweep
+            pass
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._fh = None

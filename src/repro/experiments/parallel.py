@@ -1,40 +1,69 @@
-"""Process-pool fan-out for the experiment runner.
+"""Sweep execution engine: persistent worker pool, cost-modeled dispatch.
 
 A figure regeneration is a long list of independent simulations, each a
 pure function of ``(scale, config, policy, workload)``.  This module fans
-those simulations out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-and merges the results back through :class:`ExperimentRunner`'s cache, so
-the serial code paths (and their results) are untouched — the parallel
-layer only *prefetches* cache entries.
+those simulations out over a **persistent** process pool and merges the
+results back through :class:`ExperimentRunner`'s cache, so the serial code
+paths (and their results) are untouched — the parallel layer only
+*prefetches* cache entries.
 
-Two design rules keep the fan-out cheap and deterministic:
+The engine has four moving parts:
 
-* **Nothing heavy crosses the pickle boundary.**  A work item carries the
-  :class:`RunKey`, the frozen config/scale dataclasses and *trace specs*
-  (``(name, category, kind, seed, n_uops)`` tuples).  Workers regenerate
-  the traces from their seeds — trace synthesis is fully deterministic in
-  those fields — and memoize them per process, so a 30k-uop trace is never
-  pickled and each worker builds it at most once.
-* **Workers are plain runners.**  Each worker process keeps one
-  uncached :class:`ExperimentRunner` per scale and calls the same
-  ``run``/``run_single`` entry points the serial path uses, so a parallel
-  run is bit-identical to a serial one (asserted by
-  ``tests/experiments/test_parallel.py``).
+* **Persistent, lazily-spawned worker pool.**  One
+  :class:`~concurrent.futures.ProcessPoolExecutor` is shared by every
+  ``run_items`` call of the process — across sweeps, figure drivers and
+  benchmark rounds — so workers keep their warm per-scale
+  :class:`ExperimentRunner` and memoized traces.  The pool grows on demand
+  (a larger ``jobs=`` respawns it bigger; a smaller one reuses it) and is
+  torn down by :func:`shutdown` or at interpreter exit.
+* **Zero-copy trace distribution** (:mod:`repro.experiments.shm`).  The
+  parent publishes each distinct trace's record array once into a
+  shared-memory segment; workers map it instead of re-synthesizing or
+  re-deserializing.  Any failure falls back to the original scheme:
+  the :class:`TraceSpec` travels with the item and the worker regenerates
+  the trace from its seed (bit-identical, just slower).
+* **Cost-modeled scheduling** (:mod:`repro.experiments.costmodel`).
+  Cache-missing items are dispatched longest-expected-first (LPT) through
+  a bounded in-flight window: idle workers pull the next-longest pending
+  item the moment they free up, which eliminates the tail-straggler idle
+  time of FIFO submission.  Completed-item timings are fed back into the
+  model and persisted, so estimates calibrate to the host.
+* **Checkpoint/resume** (:mod:`repro.experiments.journal`).  Each
+  completed key is journaled next to the result cache; a runner built
+  with ``resume=True`` (CLI ``--resume``) skips journaled keys and
+  re-executes only the missing ones.
+
+Scheduling and pooling never affect *what* is computed: workers run the
+same ``run``/``run_single`` entry points the serial path uses, and the
+final sweep assembly reads everything back from the cache, so a parallel
+run is bit-identical to a serial one at any ``jobs=``, with telemetry on
+or off (asserted by ``tests/experiments/test_parallel.py`` and
+``tests/telemetry/test_parallel_telemetry.py``).
 
 Worker counts resolve as ``jobs=`` argument > ``REPRO_JOBS`` environment
 variable > default (``os.cpu_count()`` for the benchmark/figure drivers,
 1 for a bare :class:`ExperimentRunner`).
+
+Every completed item also leaves a timing record (predicted vs measured
+seconds, worker PID, queue wait) in ``runner.sweep_log`` and — when the
+runner has a ``cache_dir`` — appended to ``<cache_dir>/sweep_trace.jsonl``,
+so sweep behaviour is observable after the fact.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import sys
+import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.config import ProcessorConfig
+from repro.experiments import costmodel, shm
 from repro.telemetry import TelemetryConfig
 from repro.trace.categories import WorkloadType, category_profile
 from repro.trace.synthesis import generate_trace
@@ -51,12 +80,27 @@ def resolve_jobs(jobs: int | None = None, default: int | None = None) -> int:
     ``default=None`` means "all cores" (the right default for the figure
     and benchmark drivers); library entry points pass ``default=1`` so an
     :class:`ExperimentRunner` never forks unless asked to.
+
+    Malformed values fail *here*, before any pool is spawned, with a clear
+    message — never as an uncaught ``ValueError`` mid-sweep — and
+    non-positive counts clamp to 1.
     """
     if jobs is not None:
-        return max(1, int(jobs))
+        try:
+            return max(1, int(jobs))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"jobs={jobs!r} is not a worker count; pass an integer >= 1"
+            ) from None
     env = os.environ.get("REPRO_JOBS", "").strip()
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS={env!r} is not a worker count; set an integer "
+                "like REPRO_JOBS=4 (values < 1 clamp to 1), or unset it"
+            ) from None
     if default is not None:
         return max(1, int(default))
     return os.cpu_count() or 1
@@ -144,6 +188,13 @@ class WorkItem:
     #: worker's REPRO_FF environment (results are identical either way)
     fast_forward: bool | None = None
 
+    def specs(self) -> tuple[TraceSpec, ...]:
+        """The trace specs this item touches (for shared-memory lookup)."""
+        if self.single is not None:
+            return (self.single,)
+        assert self.workload is not None
+        return self.workload.traces
+
 
 # --------------------------------------------------------------------------- #
 # Worker side: per-process memoization                                        #
@@ -153,10 +204,23 @@ _worker_traces: dict[TraceSpec, Trace] = {}
 _worker_runners: dict["Scale", "ExperimentRunner"] = {}
 
 
-def _worker_trace(spec: TraceSpec) -> Trace:
+def _worker_trace(spec: TraceSpec, shm_name: str | None = None) -> Trace:
     tr = _worker_traces.get(spec)
-    if tr is None:
-        tr = _worker_traces[spec] = spec.build()
+    if tr is not None:
+        return tr
+    records = shm.attach(shm_name, spec.n_uops) if shm_name else None
+    if records is not None:
+        # zero-copy: wrap the parent's published bytes directly
+        tr = Trace(
+            records,
+            name=spec.name,
+            category=spec.category,
+            kind=spec.kind,
+            seed=spec.seed,
+        )
+    else:
+        tr = spec.build()  # fallback: regenerate from the seed
+    _worker_traces[spec] = tr
     return tr
 
 
@@ -169,10 +233,16 @@ def _worker_runner(scale: "Scale") -> "ExperimentRunner":
     return runner
 
 
-def _run_item(item: WorkItem):
-    """Worker entry point: run one simulation, return ``(key, record)``."""
+def _run_item(item: WorkItem, shm_names: dict[TraceSpec, str] | None = None):
+    """Worker entry point: run one simulation.
+
+    Returns ``(key, record, seconds, worker_pid)`` — the timing feeds the
+    parent's cost model, the PID its scheduling log.
+    """
     from pathlib import Path
 
+    t0 = time.perf_counter()
+    names = shm_names or {}
     runner = _worker_runner(item.scale)
     # telemetry settings travel per item (the memoized runner is shared by
     # items from different sweeps, so both fields are assigned every time)
@@ -180,7 +250,9 @@ def _run_item(item: WorkItem):
     runner.telemetry_config = item.telemetry
     runner.fast_forward = item.fast_forward
     if item.single is not None:
-        rec = runner.run_single(item.config, _worker_trace(item.single))
+        rec = runner.run_single(
+            item.config, _worker_trace(item.single, names.get(item.single))
+        )
     else:
         assert item.workload is not None
         spec = item.workload
@@ -188,51 +260,81 @@ def _run_item(item: WorkItem):
             name=spec.name,
             category=spec.category,
             wtype=WorkloadType(spec.wtype),
-            traces=tuple(_worker_trace(s) for s in spec.traces),
+            traces=tuple(_worker_trace(s, names.get(s)) for s in spec.traces),
         )
         rec = runner.run(item.config, item.policy, workload, stop=item.stop)
-    return item.key, rec
+    return item.key, rec, time.perf_counter() - t0, os.getpid()
 
 
 # --------------------------------------------------------------------------- #
-# Parent side: executor, progress, cache merge                                #
+# Parent side: persistent executor, scheduler, progress, cache merge          #
 # --------------------------------------------------------------------------- #
 
 _executor: ProcessPoolExecutor | None = None
 _executor_jobs = 0
+_cost_model: costmodel.CostModel | None = None
+_atexit_registered = False
+
+
+def _get_cost_model() -> costmodel.CostModel:
+    global _cost_model
+    if _cost_model is None:
+        _cost_model = costmodel.CostModel(costmodel.default_path())
+    return _cost_model
 
 
 def _get_executor(jobs: int) -> ProcessPoolExecutor:
-    """A process pool with exactly ``jobs`` workers, reused across sweeps."""
-    global _executor, _executor_jobs
-    if _executor is not None and _executor_jobs != jobs:
+    """The persistent pool, grown (never shrunk) to at least ``jobs``.
+
+    Workers are spawned lazily by the executor as items are submitted, so
+    asking for a large pool costs nothing until the work arrives; keeping
+    a larger-than-needed pool alive costs idle processes but preserves
+    their warm trace/runner caches, which is the point.
+    """
+    global _executor, _executor_jobs, _atexit_registered
+    if _executor is not None and jobs > _executor_jobs:
         shutdown()
     if _executor is None:
         _executor = ProcessPoolExecutor(max_workers=jobs)
         _executor_jobs = jobs
+        if not _atexit_registered:
+            atexit.register(shutdown)
+            _atexit_registered = True
     return _executor
 
 
 def shutdown() -> None:
-    """Tear down the cached worker pool (tests; otherwise exits with us)."""
+    """Tear down the worker pool and release shared-memory segments.
+
+    Safe to call repeatedly; also runs at interpreter exit.  The next
+    ``run_items`` call simply builds a fresh pool.
+    """
     global _executor, _executor_jobs
     if _executor is not None:
         _executor.shutdown(wait=True)
         _executor = None
         _executor_jobs = 0
+    shm.release_all()
+    if _cost_model is not None:
+        _cost_model.save()
 
 
 class _Progress:
-    """Live ``done/total`` line on stderr.
+    """Live ``hit/ran/total`` line on stderr.
 
-    Written to stderr only (never stdout, so ``repro-sim ... | jq`` style
-    pipelines stay clean) and suppressed entirely when neither stdout nor
-    stderr is a terminal — a redirected batch run gets no progress spam in
-    its logs.
+    Cache-hit items are reported separately from executed ones, so a
+    mostly-cached resume shows how much real work remains instead of a
+    misleading grand total.  Written to stderr only (never stdout, so
+    ``repro-sim ... | jq`` style pipelines stay clean) and suppressed
+    entirely when neither stdout nor stderr is a terminal — a redirected
+    batch run gets no progress spam in its logs.
     """
 
-    def __init__(self, total: int, jobs: int, label: str) -> None:
-        self.total = total
+    def __init__(self, to_run: int, hits: int, jobs: int, label: str) -> None:
+        self.to_run = to_run
+        self.hits = hits
+        self.total = to_run + hits
+        self.jobs = jobs
         self.done = 0
         self.label = label
         try:
@@ -241,26 +343,47 @@ class _Progress:
             interactive = False
         self._tty = interactive
         if self._tty:
-            print(
-                f"[repro] {label}: {total} sims on {jobs} workers",
-                file=sys.stderr,
-                flush=True,
-            )
+            print(self.header(), file=sys.stderr, flush=True)
+
+    def header(self) -> str:
+        return (
+            f"[repro] {self.label}: {self.total} sims "
+            f"({self.hits} cached, {self.to_run} to run) on {self.jobs} workers"
+        )
+
+    def line(self, key: "RunKey") -> str:
+        return (
+            f"[repro] {self.hits} hit + {self.done}/{self.to_run} ran "
+            f"of {self.total} {key.policy}/{key.workload}"
+        )
 
     def tick(self, key: "RunKey") -> None:
         self.done += 1
         if self._tty:
-            print(
-                f"\r[repro] {self.done}/{self.total} {key.policy}/{key.workload}"
-                f"\x1b[K",
-                end="",
-                file=sys.stderr,
-                flush=True,
-            )
+            print(f"\r{self.line(key)}\x1b[K", end="", file=sys.stderr, flush=True)
 
     def close(self) -> None:
         if self._tty:
             print(file=sys.stderr, flush=True)
+
+
+def _is_complete(runner: "ExperimentRunner", item: WorkItem) -> bool:
+    """Whether ``item`` needs no execution (cache hit, exports present)."""
+    from repro.telemetry import exports_complete
+
+    if runner._cache_get(item.key) is None:
+        return False
+    if item.key in runner.resume_completed:
+        # journal-trusted: the key was marked only after its cache entry
+        # and telemetry exports were durably written
+        return True
+    if item.telemetry_dir is not None:
+        # cached record but possibly missing telemetry export: re-run (the
+        # simulation is deterministic, so the record is rewritten
+        # bit-identically alongside its telemetry files)
+        teldir = runner.telemetry_path(item.key)
+        return teldir is None or exports_complete(teldir)
+    return True
 
 
 def run_items(
@@ -274,44 +397,104 @@ def run_items(
     Returns the number of simulations actually executed.  With
     ``jobs <= 1`` this is a no-op — the caller's serial loop does the
     work — so the serial path never pays pool overhead.
+
+    Dispatch is longest-expected-first through a bounded in-flight window
+    (``jobs + 1`` futures): when any worker finishes, it immediately pulls
+    the longest remaining item, so no worker idles while work is pending
+    and the longest items never strand the tail of the sweep.
     """
     if jobs <= 1:
         return 0
-    from repro.telemetry import exports_complete
-
     todo: list[WorkItem] = []
+    hits = 0
     seen: set[RunKey] = set()
     for item in items:
         if item.key in seen:
             continue
-        needs_run = runner._cache_get(item.key) is None
-        if not needs_run and item.telemetry_dir is not None:
-            # cached record but missing telemetry export: re-run (the
-            # simulation is deterministic, so the record is rewritten
-            # bit-identically alongside its telemetry files)
-            teldir = runner.telemetry_path(item.key)
-            needs_run = teldir is not None and not exports_complete(teldir)
-        if needs_run:
-            seen.add(item.key)
+        seen.add(item.key)
+        if _is_complete(runner, item):
+            hits += 1
+        else:
             todo.append(item)
     if not todo:
         return 0
-    executor = _get_executor(min(jobs, len(todo)))
-    progress = _Progress(len(todo), min(jobs, len(todo)), label)
-    pending = {executor.submit(_run_item, item) for item in todo}
+
+    model = _get_cost_model()
+    estimates = {id(item): model.estimate(item) for item in todo}
+    todo.sort(key=lambda it: estimates[id(it)], reverse=True)
+
+    store = shm.store()
+    executor = _get_executor(jobs)
+    progress = _Progress(len(todo), hits, min(jobs, len(todo)), label)
+    queue: deque[WorkItem] = deque(todo)
+    inflight: dict = {}
+    timings: list[dict] = []
+    executed = 0
+
+    def _submit_next() -> None:
+        item = queue.popleft()
+        names = store.names_for(item.specs())
+        fut = executor.submit(_run_item, item, names or None)
+        inflight[fut] = (item, time.perf_counter())
+
     try:
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for _ in range(min(jobs + 1, len(queue))):
+            _submit_next()
+        while inflight:
+            done, _pending = wait(list(inflight), return_when=FIRST_COMPLETED)
             for fut in done:
-                key, rec = fut.result()
+                item, t_submit = inflight.pop(fut)
+                key, rec, seconds, worker_pid = fut.result()
                 runner._cache_put(key, rec)
+                runner._mark_complete(key)
                 runner.sims_run += 1
+                executed += 1
+                model.observe(item, seconds)
+                timings.append(
+                    {
+                        "label": label,
+                        "scale": key.scale,
+                        "policy": key.policy,
+                        "workload": key.workload,
+                        "predicted_s": round(estimates[id(item)], 6),
+                        "elapsed_s": round(seconds, 6),
+                        "wait_s": round(
+                            time.perf_counter() - t_submit - seconds, 6
+                        ),
+                        "worker_pid": worker_pid,
+                    }
+                )
                 progress.tick(key)
+                if queue:
+                    _submit_next()
+    except BrokenProcessPool:
+        shutdown()  # reset so the next call gets a healthy pool
+        raise RuntimeError(
+            "sweep worker pool died mid-run (worker killed or crashed); "
+            "the pool has been reset — re-run, optionally with --resume"
+        ) from None
     finally:
-        for fut in pending:
+        for fut in inflight:
             fut.cancel()
         progress.close()
-    return len(todo)
+        model.save()
+        runner.sweep_log.extend(timings)
+        _append_sweep_trace(runner, timings)
+    return executed
+
+
+def _append_sweep_trace(runner: "ExperimentRunner", timings: list[dict]) -> None:
+    """Persist scheduling records next to the cache (best-effort)."""
+    if not timings or runner.cache_dir is None:
+        return
+    try:
+        import json
+
+        with open(runner.cache_dir / "sweep_trace.jsonl", "a") as fh:
+            for rec in timings:
+                fh.write(json.dumps(rec) + "\n")
+    except OSError:  # pragma: no cover - observability must never fail a run
+        pass
 
 
 def sweep_items(
@@ -324,14 +507,19 @@ def sweep_items(
     """Work items for every (policy, workload) pair of a sweep.
 
     Workloads whose traces cannot be regenerated from seeds are skipped
-    (the serial pass after the prefetch still runs them in-parent).
+    (the serial pass after the prefetch still runs them in-parent).  The
+    traces of eligible workloads are staged with the shared-memory store,
+    so workers can map them instead of rebuilding.
     """
     items: list[WorkItem] = []
     tel_cfg, tel_dir = _telemetry_fields(runner)
+    store = shm.store()
     for wl in workloads:
         spec = WorkloadSpec.of(wl)
         if spec is None:
             continue
+        for tr, tr_spec in zip(wl.traces, spec.traces):
+            store.stage(tr_spec, tr.records)
         for policy in policies:
             items.append(
                 WorkItem(
@@ -357,11 +545,14 @@ def single_items(
     """Work items for single-thread reference runs (fairness baselines)."""
     items: list[WorkItem] = []
     tel_cfg, tel_dir = _telemetry_fields(runner)
+    store = shm.store()
     for tr in traces:
         try:
             category_profile(tr.category, tr.kind)
         except KeyError:
             continue
+        spec = TraceSpec.of(tr)
+        store.stage(spec, tr.records)
         items.append(
             WorkItem(
                 key=runner.key_for_single(config, tr),
@@ -369,7 +560,7 @@ def single_items(
                 config=config,
                 policy="icount",
                 stop="all_done",
-                single=TraceSpec.of(tr),
+                single=spec,
                 telemetry=tel_cfg,
                 telemetry_dir=tel_dir,
                 fast_forward=runner.fast_forward,

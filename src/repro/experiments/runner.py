@@ -14,7 +14,10 @@ All figure reproductions funnel their simulations through one
 * fans sweeps out over worker processes when asked to (``jobs=`` or the
   ``REPRO_JOBS`` environment variable — see
   :mod:`repro.experiments.parallel`); the parallel path only prefetches
-  cache entries, so results are bit-identical to a serial run.
+  cache entries, so results are bit-identical to a serial run;
+* journals every completed run next to the disk cache
+  (:mod:`repro.experiments.journal`) so an interrupted sweep restarted
+  with ``resume=True`` (CLI ``--resume``) re-executes only missing keys.
 
 Disk cache writes go through a temp file and :func:`os.replace`, so
 concurrent runners sharing one ``cache_dir`` never observe a half-written
@@ -142,6 +145,7 @@ class ExperimentRunner:
         telemetry_dir: str | Path | None = None,
         telemetry: TelemetryConfig | None = None,
         fast_forward: bool | None = None,
+        resume: bool = False,
     ) -> None:
         if scale is None:
             scale = scale_from_env()
@@ -177,6 +181,22 @@ class ExperimentRunner:
         self.fast_forward = fast_forward
         self.sims_run = 0
         self.cache_hits = 0
+        # Checkpoint journal: every completed key is recorded next to the
+        # disk cache (after its cache entry and telemetry exports are
+        # written).  With resume=True the journal is preloaded and those
+        # keys are trusted as complete, so an interrupted sweep re-executes
+        # only the missing ones (CLI: --resume).
+        from repro.experiments.journal import JOURNAL_NAME, SweepJournal
+
+        self.journal = (
+            SweepJournal(self.cache_dir / JOURNAL_NAME) if self.cache_dir else None
+        )
+        self.resume_completed: frozenset[RunKey] = frozenset(
+            self.journal.load() if (resume and self.journal) else ()
+        )
+        #: scheduling/timing records appended by the parallel engine
+        #: (one dict per executed item; see repro.experiments.parallel)
+        self.sweep_log: list[dict[str, Any]] = []
 
     # -- pool ---------------------------------------------------------------
 
@@ -327,6 +347,11 @@ class ExperimentRunner:
                     pass
                 raise
 
+    def _mark_complete(self, key: RunKey) -> None:
+        """Journal ``key`` as fully done (cache entry + exports on disk)."""
+        if self.journal is not None:
+            self.journal.mark(key)
+
     def run(
         self,
         config: ProcessorConfig,
@@ -337,13 +362,19 @@ class ExperimentRunner:
         """Simulate (or fetch from cache) one 2-thread workload.
 
         With telemetry enabled, a cached record is only honoured when its
-        telemetry export is also on disk; otherwise the simulation re-runs
+        telemetry export is also on disk (keys the resume journal vouches
+        for skip that scan); otherwise the simulation re-runs
         (bit-identical, so the rewritten cache entry does not change).
         """
         key = self.key_for(config, policy, workload, stop=stop)
         tel, teldir = self._telemetry_for(key)
         cached = self._cache_get(key)
-        if cached is not None and (teldir is None or exports_complete(teldir)):
+        if cached is not None and (
+            key in self.resume_completed
+            or teldir is None
+            or exports_complete(teldir)
+        ):
+            self._mark_complete(key)
             return cached
         res = run_simulation(
             config,
@@ -361,6 +392,7 @@ class ExperimentRunner:
         if tel is not None and teldir is not None:
             self._export_telemetry(tel, teldir, key)
         self._cache_put(key, rec)
+        self._mark_complete(key)
         self.sims_run += 1
         return rec
 
@@ -369,7 +401,12 @@ class ExperimentRunner:
         key = self.key_for_single(config, trace)
         tel, teldir = self._telemetry_for(key)
         cached = self._cache_get(key)
-        if cached is not None and (teldir is None or exports_complete(teldir)):
+        if cached is not None and (
+            key in self.resume_completed
+            or teldir is None
+            or exports_complete(teldir)
+        ):
+            self._mark_complete(key)
             return cached
         res = run_simulation(
             config.with_threads(1),
@@ -387,6 +424,7 @@ class ExperimentRunner:
         if tel is not None and teldir is not None:
             self._export_telemetry(tel, teldir, key)
         self._cache_put(key, rec)
+        self._mark_complete(key)
         self.sims_run += 1
         return rec
 
@@ -401,6 +439,7 @@ class ExperimentRunner:
         policies: Iterable[str],
         workloads: Iterable[Workload] | None = None,
         jobs: int | None = None,
+        label: str = "sweep",
     ) -> dict[tuple[str, str, str], RunRecord]:
         """Run every (policy, workload) pair; returns
         ``{(policy, category, name): record}``.
@@ -408,7 +447,8 @@ class ExperimentRunner:
         With ``jobs > 1`` (argument, constructor, or ``REPRO_JOBS``) the
         cache misses run on a process pool first; the serial loop below
         then assembles the result entirely from cache, so ordering and
-        contents are identical to a serial sweep.
+        contents are identical to a serial sweep.  ``label`` names the
+        sweep in progress lines and scheduling records.
         """
         policies = list(policies)
         wls = list(workloads) if workloads is not None else list(self.pool)
@@ -420,7 +460,7 @@ class ExperimentRunner:
                 self,
                 parallel.sweep_items(self, config, policies, wls),
                 n_jobs,
-                label="sweep",
+                label=label,
             )
         out: dict[tuple[str, str, str], RunRecord] = {}
         for policy in policies:
@@ -433,6 +473,7 @@ class ExperimentRunner:
         config: ProcessorConfig,
         traces: Iterable[Trace],
         jobs: int | None = None,
+        label: str = "single-thread refs",
     ) -> list[RunRecord]:
         """Single-thread reference runs for ``traces``, in order.
 
@@ -449,7 +490,7 @@ class ExperimentRunner:
                 self,
                 parallel.single_items(self, config, traces),
                 n_jobs,
-                label="single-thread refs",
+                label=label,
             )
         return [self.run_single(config, tr) for tr in traces]
 

@@ -1,0 +1,194 @@
+"""Zero-copy trace distribution over POSIX shared memory.
+
+A figure-scale sweep touches a handful of distinct traces but runs
+hundreds of simulations; with worker processes, every process used to pay
+for every trace it touched (synthesis, or a deserializing load from the
+on-disk cache).  This module publishes each synthesized trace's record
+array **once per host** into a :mod:`multiprocessing.shared_memory`
+segment; workers map the segment and wrap the bytes in a numpy array
+without copying.  The parent pays one ``memcpy`` per distinct trace, the
+workers pay nothing.
+
+The store is strictly an optimization with a guaranteed fallback: when
+shared memory is unavailable (no ``/dev/shm``, a non-``fork`` start
+method, the ``REPRO_SHM=0`` kill switch, or any publish/attach failure)
+the sweep workers rebuild traces from their :class:`TraceSpec` seeds
+exactly as before, and results are bit-identical either way.
+
+Lifecycle:
+
+* the parent :meth:`TraceStore.stage`\\ s record arrays as work items are
+  built, and publishes only the ones an actual cache-missing item needs;
+* segment names travel to workers next to the work item; workers attach
+  lazily and keep the mapping for the life of the pool;
+* :func:`release_all` (called by ``parallel.shutdown()`` and at interpreter
+  exit) closes and unlinks every segment.  The unlink is guarded by the
+  creating PID so a forked worker inheriting the store can never destroy
+  the parent's segments; on a hard kill the stdlib resource tracker
+  reclaims them.
+
+Only the ``fork`` start method is supported: parent and workers then share
+one resource-tracker process, so the attach-side registration that
+:class:`~multiprocessing.shared_memory.SharedMemory` performs is idempotent
+instead of a premature-unlink hazard.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.trace.trace import TRACE_DTYPE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.parallel import TraceSpec
+
+_ENV_VAR = "REPRO_SHM"
+_DISABLED = ("0", "off", "false", "no")
+
+
+def enabled() -> bool:
+    """Whether shared-memory trace distribution may be used at all."""
+    env = os.environ.get(_ENV_VAR, "").strip().lower()
+    if env in _DISABLED and env != "":
+        return False
+    try:
+        import multiprocessing as mp
+        from multiprocessing import shared_memory  # noqa: F401
+
+        method = mp.get_start_method(allow_none=True)
+        if method is None:
+            method = mp.get_all_start_methods()[0]
+        return method == "fork"
+    except (ImportError, OSError, ValueError):  # pragma: no cover - exotic host
+        return False
+
+
+class TraceStore:
+    """Parent-side registry of published trace segments."""
+
+    def __init__(self) -> None:
+        self._owner = os.getpid()
+        self._staged: dict["TraceSpec", np.ndarray] = {}
+        self._segments: dict["TraceSpec", tuple[object, str]] = {}
+        self._disabled = not enabled()
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def stage(self, spec: "TraceSpec", records: np.ndarray) -> None:
+        """Remember ``records`` for ``spec`` without publishing yet.
+
+        Publication is deferred to :meth:`names_for` so fully-cached sweeps
+        never allocate a segment.
+        """
+        if self._disabled:
+            return
+        if spec not in self._segments and spec not in self._staged:
+            self._staged[spec] = records
+
+    def _publish(self, spec: "TraceSpec", records: np.ndarray) -> str | None:
+        from multiprocessing import shared_memory
+
+        name = f"repro_{os.getpid()}_{secrets.token_hex(4)}"
+        try:
+            seg = shared_memory.SharedMemory(
+                name=name, create=True, size=max(1, records.nbytes)
+            )
+        except OSError:
+            # no /dev/shm, out of space, ...: disable for this process and
+            # let every worker fall back to spec rebuilds
+            self._disabled = True
+            return None
+        view = np.ndarray(len(records), dtype=TRACE_DTYPE, buffer=seg.buf)
+        view[:] = records
+        del view  # drop the buffer export so close() cannot raise later
+        self._segments[spec] = (seg, name)
+        return name
+
+    def names_for(self, specs: Iterable["TraceSpec"]) -> dict["TraceSpec", str]:
+        """Segment names for ``specs``, publishing staged arrays on demand.
+
+        Specs that were never staged or failed to publish are simply absent
+        from the mapping — the worker rebuilds those from the seed.
+        """
+        out: dict["TraceSpec", str] = {}
+        for spec in specs:
+            seg = self._segments.get(spec)
+            if seg is not None:
+                out[spec] = seg[1]
+                continue
+            if self._disabled:
+                continue
+            records = self._staged.pop(spec, None)
+            if records is None:
+                continue
+            name = self._publish(spec, records)
+            if name is not None:
+                out[spec] = name
+        return out
+
+    def release(self) -> None:
+        """Close and unlink every segment (owner process only)."""
+        if os.getpid() != self._owner:
+            return  # a forked child inheriting the store must not unlink
+        for seg, _name in self._segments.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+        self._segments.clear()
+        self._staged.clear()
+        self._disabled = not enabled()
+
+
+#: Process-wide store shared by every sweep of this interpreter.
+_store: TraceStore | None = None
+
+
+def store() -> TraceStore:
+    global _store
+    if _store is None:
+        _store = TraceStore()
+    return _store
+
+
+def release_all() -> None:
+    """Tear down the process-wide store (idempotent)."""
+    global _store
+    if _store is not None:
+        _store.release()
+        _store = None
+
+
+# --------------------------------------------------------------------------- #
+# Worker side                                                                  #
+# --------------------------------------------------------------------------- #
+
+_attached: dict[str, tuple[object, np.ndarray]] = {}
+
+
+def attach(name: str, n_uops: int) -> np.ndarray | None:
+    """Map segment ``name`` and return its records, or ``None`` on failure.
+
+    The mapping (and the ``SharedMemory`` handle keeping it alive) is
+    memoized for the life of the worker; the worker never unlinks.
+    """
+    got = _attached.get(name)
+    if got is None:
+        try:
+            from multiprocessing import shared_memory
+
+            seg = shared_memory.SharedMemory(name=name)
+            arr = np.ndarray(n_uops, dtype=TRACE_DTYPE, buffer=seg.buf)
+        except (ImportError, OSError, ValueError):
+            return None
+        got = _attached[name] = (seg, arr)
+    _seg, arr = got
+    if len(arr) != n_uops:  # pragma: no cover - name collision safety net
+        return None
+    return arr

@@ -6,7 +6,7 @@ static program and walking it dominates worker startup in parallel sweeps,
 and every process in the pool re-synthesizes the same handful of traces.
 This module gives :func:`~repro.trace.synthesis.generate_trace` a shared
 content-addressed store so the second and later builds (in this process or
-any other) load the finished ``.npz`` from disk instead.
+any other) load the finished entry from disk instead.
 
 Design points:
 
@@ -15,6 +15,10 @@ Design points:
   format version.  Any change to the profile dataclass, the dtype or the
   generator's serialization bumps the digest, so stale entries can never
   be returned; they are merely never hit again.
+* **Zero-copy loads** — entries are raw ``.npy`` files (format v2; v1 used
+  ``.npz``) opened with ``np.load(mmap_mode="r")``, so a pool of sweep
+  workers loading the same trace shares one copy in the OS page cache
+  instead of each materialising its own array.
 * **Atomicity** — writes go to a ``mkstemp`` sibling and ``os.replace``
   onto the final name, so concurrent sweep workers racing on a cold cache
   either see a complete file or none at all (the loser of the race just
@@ -45,8 +49,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.trace.synthesis import TraceProfile
 
 #: bump when the synthesis algorithm changes in a way that alters emitted
-#: records for an unchanged (profile, seed, n_uops) key
-_FORMAT_VERSION = 1
+#: records for an unchanged (profile, seed, n_uops) key, or when the
+#: on-disk entry encoding changes (v2: bare .npy instead of .npz)
+_FORMAT_VERSION = 2
 
 _ENV_VAR = "REPRO_TRACE_CACHE"
 _DISABLED = ("", "0", "off", "false", "no")
@@ -88,7 +93,7 @@ def trace_key(profile: "TraceProfile", seed: int, n_uops: int) -> str:
 
 
 def _entry_path(root: Path, key: str) -> Path:
-    return root / f"{key}.npz"
+    return root / f"{key}.npy"
 
 
 def load_records(key: str, n_uops: int) -> "np.ndarray | None":
@@ -98,8 +103,9 @@ def load_records(key: str, n_uops: int) -> "np.ndarray | None":
         return None
     path = _entry_path(root, key)
     try:
-        with np.load(path, allow_pickle=False) as npz:
-            records = npz["records"]
+        # Read-only memory map: every worker process mapping this entry
+        # shares the same physical pages, and pages fault in lazily.
+        records = np.load(path, mmap_mode="r", allow_pickle=False)
         if records.dtype != TRACE_DTYPE or len(records) != n_uops:
             raise ValueError("cache entry does not match its key")
     except FileNotFoundError:
@@ -128,7 +134,7 @@ def store_records(key: str, records: "np.ndarray") -> bool:
         fd, tmp = tempfile.mkstemp(dir=root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                np.savez(fh, records=records)
+                np.save(fh, records, allow_pickle=False)
             os.replace(tmp, _entry_path(root, key))
         except BaseException:
             try:
@@ -148,10 +154,11 @@ def clear() -> int:
     if root is None or not root.is_dir():
         return 0
     n = 0
-    for path in root.glob("*.npz"):
-        try:
-            path.unlink()
-            n += 1
-        except OSError:
-            pass
+    for pattern in ("*.npy", "*.npz"):  # include legacy v1 entries
+        for path in root.glob(pattern):
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
     return n

@@ -297,9 +297,15 @@ class SyntheticProgram:
         block_idx = 0
         i = 0
         blocks = self.blocks
+        # Per-block uop sequence (body + terminator), built once: the walk
+        # revisits hot blocks thousands of times and list concatenation in
+        # the loop header dominated the emit profile.
+        block_seqs = [
+            b.body + ([b.branch] if b.branch else []) for b in blocks
+        ]
         while i < n_uops:
             block = blocks[block_idx]
-            for tmpl in block.body + ([block.branch] if block.branch else []):
+            for tmpl in block_seqs[block_idx]:
                 if i >= n_uops:
                     break
                 if rp + 8 >= pool_size:

@@ -1,0 +1,192 @@
+"""Checkpoint/resume: journal durability and the --resume contract.
+
+A key is journaled only after its cache entry (and telemetry exports, when
+enabled) are durably on disk, so ``resume=True`` may trust it outright; a
+killed writer can at worst truncate the final journal line, which loads
+as "not done" and merely re-runs one simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.journal import JOURNAL_NAME, SweepJournal
+from repro.experiments.runner import ExperimentRunner, RunKey, figure2_config
+from repro.trace.workloads import build_pool
+
+POOL_KW = dict(
+    n_uops=2500, n_ilp=1, n_mem=1, n_mix=0, n_mixes_category=0,
+    categories=("ISPEC00",),
+)
+POLICIES = ["icount", "cssp"]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return build_pool(**POOL_KW)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pool():
+    yield
+    parallel.shutdown()
+
+
+def _keys(n=3):
+    return [
+        RunKey("smoke", f"cfg{i}", "icount", f"ISPEC00/w{i}", "first_done")
+        for i in range(n)
+    ]
+
+
+# -- journal mechanics ------------------------------------------------------
+
+
+def test_journal_roundtrip(tmp_path):
+    path = tmp_path / JOURNAL_NAME
+    j = SweepJournal(path)
+    keys = _keys(3)
+    for k in keys:
+        j.mark(k)
+    j.mark(keys[0])  # idempotent: no duplicate line
+    j.close()
+    assert len(path.read_text().splitlines()) == 3
+    assert SweepJournal(path).load() == set(keys)
+
+
+def test_journal_skips_truncated_tail(tmp_path):
+    path = tmp_path / JOURNAL_NAME
+    j = SweepJournal(path)
+    keys = _keys(2)
+    for k in keys:
+        j.mark(k)
+    j.close()
+    text = path.read_text()
+    path.write_text(text[: len(text) - 20])  # kill mid-final-line
+    loaded = SweepJournal(path).load()
+    assert loaded == {keys[0]}  # complete line kept, torn line dropped
+
+
+def test_journal_skips_foreign_garbage(tmp_path):
+    path = tmp_path / JOURNAL_NAME
+    key = _keys(1)[0]
+    j = SweepJournal(path)
+    j.mark(key)
+    j.close()
+    with open(path, "a") as fh:
+        fh.write('{"unrelated": "dict"}\n[1, 2, 3]\nnot json at all\n\n')
+    assert SweepJournal(path).load() == {key}
+
+
+def test_missing_journal_loads_empty(tmp_path):
+    assert SweepJournal(tmp_path / "absent.journal").load() == set()
+
+
+# -- runner integration -----------------------------------------------------
+
+
+def test_completed_runs_are_journaled(pool, tmp_path):
+    config = figure2_config(32)
+    runner = ExperimentRunner("smoke", pool=pool, cache_dir=tmp_path)
+    runner.sweep(config, POLICIES)
+    done = SweepJournal(tmp_path / JOURNAL_NAME).load()
+    expected = {
+        runner.key_for(config, p, wl) for p in POLICIES for wl in pool.workloads
+    }
+    assert done == expected
+    # journal ⊆ cache: every journaled key has its entry on disk
+    for key in done:
+        assert (tmp_path / key.filename()).exists()
+
+
+def test_resume_runs_only_missing(pool, tmp_path):
+    """A partial run leaves a partial journal; resume executes the rest."""
+    config = figure2_config(32)
+    first = ExperimentRunner("smoke", pool=pool, cache_dir=tmp_path)
+    first.run(config, "icount", pool.workloads[0])  # 1 of 4 done
+
+    resumed = ExperimentRunner("smoke", pool=pool, cache_dir=tmp_path, resume=True)
+    assert len(resumed.resume_completed) == 1
+    resumed.sweep(config, POLICIES)
+    assert resumed.sims_run == len(POLICIES) * len(pool.workloads) - 1
+
+
+def test_resume_trusts_journal_over_telemetry_rescan(pool, tmp_path):
+    """With telemetry on, a cached record normally needs its exports
+    re-verified on disk; a journaled key skips that (the mark happened
+    after the exports were written), so resume does not re-run when the
+    exports later disappear."""
+    config = figure2_config(32)
+    cache_dir, tel_dir = tmp_path / "cache", tmp_path / "telemetry"
+    wl = pool.workloads[0]
+    writer = ExperimentRunner(
+        "smoke", pool=pool, cache_dir=cache_dir, telemetry_dir=tel_dir
+    )
+    writer.run(config, "icount", wl)
+    key = writer.key_for(config, "icount", wl)
+    teldir = writer.telemetry_path(key)
+    assert teldir is not None and teldir.is_dir()
+    for f in teldir.iterdir():  # simulate lost/pruned telemetry exports
+        f.unlink()
+
+    rerun = ExperimentRunner(
+        "smoke", pool=pool, cache_dir=cache_dir, telemetry_dir=tel_dir
+    )
+    rerun.run(config, "icount", wl)
+    assert rerun.sims_run == 1  # without the journal: exports gone -> re-run
+
+    for f in teldir.iterdir():
+        f.unlink()
+    resumed = ExperimentRunner(
+        "smoke", pool=pool, cache_dir=cache_dir, telemetry_dir=tel_dir, resume=True
+    )
+    resumed.run(config, "icount", wl)
+    assert resumed.sims_run == 0  # journal vouches for the key
+
+
+def test_parallel_resume_matches_serial(pool, tmp_path):
+    """Resuming on the worker pool completes the sweep bit-identically."""
+    import dataclasses
+
+    config = figure2_config(32)
+    ref = ExperimentRunner("smoke", pool=pool)
+    expected = ref.sweep(config, POLICIES)
+
+    partial = ExperimentRunner("smoke", pool=pool, cache_dir=tmp_path)
+    partial.run(config, POLICIES[0], pool.workloads[0])
+    resumed = ExperimentRunner(
+        "smoke", pool=pool, cache_dir=tmp_path, jobs=2, resume=True
+    )
+    got = resumed.sweep(config, POLICIES)
+    assert resumed.sims_run == len(expected) - 1
+    assert got.keys() == expected.keys()
+    for key in expected:
+        assert dataclasses.asdict(got[key]) == dataclasses.asdict(expected[key]), key
+
+
+# -- kill/resume smoke ------------------------------------------------------
+
+
+def test_kill_and_resume_smoke(tmp_path):
+    """SIGKILL a sweep mid-run; a --resume run completes exactly the rest
+    (scripts/resume_smoke.py, also exercised by CI)."""
+    repo = Path(__file__).resolve().parents[2]
+    proc = subprocess.run(
+        [sys.executable, str(repo / "scripts" / "resume_smoke.py"),
+         "--cache-dir", str(tmp_path / "cache")],
+        capture_output=True, text=True, timeout=300,
+        env={**__import__("os").environ,
+             "PYTHONPATH": str(repo / "src"),
+             "REPRO_TRACE_CACHE": str(tmp_path / "traces"),
+             "REPRO_COST_MODEL": str(tmp_path / "cm.json")},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    summary = json.loads(proc.stdout.splitlines()[-1])
+    assert summary["resumed_sims"] == summary["total"] - summary["cached_before"]
+    assert summary["complete"] is True

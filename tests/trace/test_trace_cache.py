@@ -33,7 +33,7 @@ def test_cold_miss_then_hit(cache_env):
     assert cache.stats["misses"] == 1
     assert cache.stats["stores"] == 1
     assert cache.stats["hits"] == 0
-    assert len(list(cache_env.glob("*.npz"))) == 1
+    assert len(list(cache_env.glob("*.npy"))) == 1
 
     second = generate_trace(PROFILE, seed=7, n_uops=500)
     assert cache.stats["hits"] == 1
@@ -52,7 +52,7 @@ def test_key_distinguishes_inputs(cache_env):
 
 def test_corrupt_entry_recovers(cache_env):
     reference = generate_trace(PROFILE, seed=7, n_uops=500)
-    entry = next(cache_env.glob("*.npz"))
+    entry = next(cache_env.glob("*.npy"))
     entry.write_bytes(b"this is not a numpy archive")
 
     cache.reset_stats()
@@ -69,7 +69,7 @@ def test_corrupt_entry_recovers(cache_env):
 
 def test_truncated_entry_recovers(cache_env):
     reference = generate_trace(PROFILE, seed=7, n_uops=500)
-    entry = next(cache_env.glob("*.npz"))
+    entry = next(cache_env.glob("*.npy"))
     blob = entry.read_bytes()
     entry.write_bytes(blob[: len(blob) // 2])
 
@@ -84,7 +84,7 @@ def test_wrong_length_entry_is_dropped(cache_env):
     key = cache.trace_key(PROFILE, seed=7, n_uops=500)
     # same key claimed, wrong payload length: must not be served
     assert cache.load_records(key, n_uops=400) is None
-    assert not list(cache_env.glob("*.npz"))  # dropped, not kept
+    assert not list(cache_env.glob("*.npy"))  # dropped, not kept
 
 
 def test_disabled_by_env(tmp_path, monkeypatch):
@@ -100,14 +100,33 @@ def test_disabled_by_env(tmp_path, monkeypatch):
 def test_use_cache_false_bypasses(cache_env):
     generate_trace(PROFILE, seed=7, n_uops=500, use_cache=False)
     assert cache.stats == {"hits": 0, "misses": 0, "stores": 0}
-    assert not list(cache_env.glob("*.npz"))
+    assert not list(cache_env.glob("*.npy"))
 
 
 def test_clear(cache_env):
     generate_trace(PROFILE, seed=7, n_uops=500)
     generate_trace(PROFILE, seed=8, n_uops=500)
     assert cache.clear() == 2
-    assert not list(cache_env.glob("*.npz"))
+    assert not list(cache_env.glob("*.npy"))
+
+
+def test_hit_is_memory_mapped(cache_env):
+    """Cache hits come back as read-only memory maps: sweep workers loading
+    the same trace share one copy in the OS page cache."""
+    generate_trace(PROFILE, seed=7, n_uops=500)
+    key = cache.trace_key(PROFILE, seed=7, n_uops=500)
+    records = cache.load_records(key, n_uops=500)
+    assert records is not None
+    assert isinstance(records, np.memmap)
+    with pytest.raises((ValueError, OSError)):
+        records["pc"][0] = 1  # read-only mapping
+
+
+def test_clear_removes_legacy_npz(cache_env):
+    generate_trace(PROFILE, seed=7, n_uops=500)
+    cache_env.joinpath("deadbeef.npz").write_bytes(b"legacy v1 entry")
+    assert cache.clear() == 2
+    assert not list(cache_env.iterdir())
 
 
 def test_trace_spec_build_loads_from_cache(cache_env):
