@@ -176,6 +176,44 @@ def bench_cycle_loop_mem_bound(benchmark, speed_log):
     _record(speed_log, "cycle_loop_mem_bound", benchmark)
 
 
+def bench_cycle_loop_icount_vectorized(benchmark, speed_log):
+    """The ILP pair of ``bench_cycle_loop_icount`` on the flattened SoA
+    engine (same traces, same stop condition); the ratio of the two
+    recorded means is the vectorized backend's speedup on its worst-case
+    (compute-dense) workload."""
+    from repro.core.vectorized import VectorizedProcessor
+
+    traces = _traces()
+    config = baseline_config()
+
+    def run():
+        proc = VectorizedProcessor(config, make_policy("icount"), traces)
+        proc.run_loop(100_000)
+        return proc.stats.committed
+
+    committed = benchmark(run)
+    assert committed > 0
+    _record(speed_log, "cycle_loop_icount_vectorized", benchmark)
+
+
+def bench_cycle_loop_mem_bound_vectorized(benchmark, speed_log):
+    """The MEM-bound pair of ``bench_cycle_loop_mem_bound`` on the
+    flattened SoA engine; pairs with that bench's recorded mean."""
+    from repro.core.vectorized import VectorizedProcessor
+
+    traces = _mem_traces()
+    config = baseline_config()
+
+    def run():
+        proc = VectorizedProcessor(config, make_policy("icount"), traces)
+        proc.run_loop(200_000)
+        return proc.stats.committed
+
+    committed = benchmark(run)
+    assert committed > 0
+    _record(speed_log, "cycle_loop_mem_bound_vectorized", benchmark)
+
+
 def bench_cycle_loop_ff_on(benchmark, speed_log):
     """Fast-forward showcase: a stall-heavy MEM pair under the Stall scheme.
 

@@ -16,6 +16,7 @@ import json
 import sys
 
 from repro.config import baseline_config
+from repro.core.backends import BACKENDS
 from repro.core.simulator import run_workload
 from repro.experiments import (
     ExperimentRunner,
@@ -93,6 +94,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "windows (results are bit-identical; this exists for validating "
         "and benchmarking the fast-forward engine)",
     )
+    p_run.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="cycle engine (default: REPRO_BACKEND or the built-in "
+        "default); backends produce bit-identical results",
+    )
 
     p_fig = sub.add_parser("figure", help="regenerate a figure of the paper")
     p_fig.add_argument("which", choices=sorted(_FIGURES))
@@ -116,6 +124,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="trust the sweep journal in --cache-dir and re-run only the "
         "simulations it does not list as complete",
+    )
+    p_fig.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="cycle engine for every simulation of the sweep (default: "
+        "REPRO_BACKEND or the built-in default); results and cache "
+        "entries are bit-identical across backends",
     )
     return parser
 
@@ -164,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
             max_cycles=runner.scale.max_cycles,
             telemetry=tel,
             fast_forward=False if args.no_fast_forward else None,
+            backend=args.backend,
         )
         if tel is not None:
             paths = tel.export(
@@ -199,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=resolve_jobs(args.jobs),
             fast_forward=False if args.no_fast_forward else None,
             resume=args.resume,
+            backend=args.backend,
         )
         fig = _FIGURES[args.which](runner)
         print(fig.render())

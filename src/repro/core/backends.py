@@ -1,0 +1,89 @@
+"""Pluggable simulation-engine backends.
+
+The simulator has one *semantic* definition of the machine — the
+reference interpreter in :mod:`repro.core.processor` — and may have any
+number of faster *engines* that execute those semantics.  A backend is a
+:class:`~repro.core.processor.Processor` subclass that produces
+bit-identical statistics and telemetry for every policy, with
+fast-forward on or off; the cross-backend identity suite
+(``tests/core/test_backend_identity.py``) is the gate that keeps that
+guarantee honest.
+
+Selection precedence: explicit ``backend=`` argument >
+``REPRO_BACKEND`` environment variable > :data:`DEFAULT_BACKEND`.
+Unknown names fail fast with the list of valid backends (mirroring
+``resolve_jobs`` for ``REPRO_JOBS``) instead of silently falling back —
+a typo'd ``REPRO_BACKEND=vectroized`` must not quietly run something
+else while a benchmark attributes its numbers to the wrong engine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.processor import Processor
+
+_ENV_VAR = "REPRO_BACKEND"
+
+#: Registered backend names.  ``reference`` is the oracle interpreter;
+#: ``vectorized`` is the flattened SoA engine (the default).
+BACKENDS: tuple[str, ...] = ("reference", "vectorized")
+
+DEFAULT_BACKEND = "vectorized"
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a backend request to a registered name.
+
+    ``backend=None`` consults ``REPRO_BACKEND``; an unset/empty variable
+    means :data:`DEFAULT_BACKEND`.  Raises :class:`ValueError` for
+    unknown names, naming the source of the bad value.
+    """
+    source = "backend"
+    if backend is None:
+        env = os.environ.get(_ENV_VAR)
+        if env is None or not env.strip():
+            return DEFAULT_BACKEND
+        backend = env
+        source = _ENV_VAR
+    name = backend.strip().lower()
+    if name not in BACKENDS:
+        valid = ", ".join(BACKENDS)
+        raise ValueError(
+            f"unknown simulation backend {backend!r} (from {source}); "
+            f"valid backends: {valid}"
+        )
+    return name
+
+
+def processor_class(backend: str) -> "type[Processor]":
+    """The :class:`Processor` subclass implementing ``backend``.
+
+    ``backend`` must already be resolved (see :func:`resolve_backend`).
+    The vectorized engine is imported lazily so merely importing the
+    core package never pays for it.
+    """
+    if backend == "vectorized":
+        from repro.core.vectorized import VectorizedProcessor
+
+        return VectorizedProcessor
+    if backend == "reference":
+        from repro.core.processor import Processor
+
+        return Processor
+    raise ValueError(f"unresolved backend name {backend!r}")
+
+
+def make_processor(
+    backend: str | None,
+    config,
+    policy,
+    traces,
+    steering=None,
+    telemetry=None,
+) -> "Processor":
+    """Construct the processor for ``backend`` (resolving ``None``)."""
+    cls = processor_class(resolve_backend(backend))
+    return cls(config, policy, traces, steering=steering, telemetry=telemetry)

@@ -71,7 +71,17 @@ class DeadlockError(RuntimeError):
 
 
 class Processor:
-    """Cycle-level model of the paper's clustered SMT processor."""
+    """Cycle-level model of the paper's clustered SMT processor.
+
+    This class is both the *semantic definition* of the machine and the
+    ``reference`` backend (see :mod:`repro.core.backends`).  Faster
+    engines subclass it and override :meth:`run_loop`; everything
+    observable — statistics, telemetry, policy hook sequences — must
+    stay bit-identical to this implementation.
+    """
+
+    #: registered backend name this engine implements
+    backend_name = "reference"
 
     def __init__(
         self,
@@ -372,6 +382,54 @@ class Processor:
     def any_done(self) -> bool:
         """At least one thread has committed its whole trace."""
         return self.finished_count > 0
+
+    def run_loop(
+        self,
+        limit: int,
+        stop: str = "first_done",
+        use_ff: bool = True,
+        commit_target: int | None = None,
+    ) -> None:
+        """Drive the machine to a stop condition (the backend seam).
+
+        ``run_simulation`` expresses both its warmup and its measured
+        phase through this one method, so a backend only has to override
+        ``run_loop`` to accelerate every run mode.  ``commit_target``
+        selects the warmup loop: run until that many uops have committed
+        (or a thread finishes, or ``limit``), ignoring ``stop``.
+        Otherwise ``stop`` is ``"first_done"``/``"all_done"``/
+        ``"cycles"``, bounded by ``limit`` (the caller's ``max_cycles``).
+        """
+        if commit_target is not None:
+            s = self.stats
+            while self.cycle < limit and s.committed < commit_target:
+                if use_ff:
+                    self.step_fast(limit)
+                else:
+                    self.step()
+                if self.finished_count > 0:
+                    break
+        elif stop == "first_done":
+            while self.cycle < limit and self.finished_count == 0:
+                if use_ff:
+                    self.step_fast(limit)
+                else:
+                    self.step()
+        elif stop == "all_done":
+            n = self._n_threads
+            while self.cycle < limit and self.finished_count < n:
+                if use_ff:
+                    self.step_fast(limit)
+                else:
+                    self.step()
+        elif stop == "cycles":
+            while self.cycle < limit:
+                if use_ff:
+                    self.step_fast(limit)
+                else:
+                    self.step()
+        else:
+            raise ValueError(f"unknown stop mode {stop!r}")
 
     # ------------------------------------------------------------------ #
     # commit                                                             #

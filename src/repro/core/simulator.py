@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.config import ProcessorConfig
-from repro.core.processor import Processor
+from repro.core.backends import processor_class, resolve_backend
 from repro.core.stats import SimStats
 from repro.frontend.steering import Steering
 from repro.policies.base import ResourcePolicy
@@ -77,6 +77,7 @@ def run_simulation(
     prewarm_caches: bool = False,
     telemetry: "Telemetry | None" = None,
     fast_forward: bool | None = None,
+    backend: str | None = None,
 ) -> SimResult:
     """Simulate ``traces`` under ``policy`` until the stop condition.
 
@@ -91,6 +92,11 @@ def run_simulation(
     selects the event-horizon engine (:meth:`Processor.step_fast`);
     ``None`` defers to :func:`fast_forward_default` (on unless
     ``REPRO_FF=0``).  Results are bit-identical either way.
+    ``backend`` selects the cycle engine (``"reference"`` or
+    ``"vectorized"``); ``None`` defers to the ``REPRO_BACKEND``
+    environment variable, then the default.  Backends are bit-identical
+    by contract, so the result — including its stats dict and any
+    telemetry exports — does not depend on the choice.
 
     The stop condition is checked every cycle against the processor's O(1)
     finished-thread count, so ``first_done``/``all_done`` runs stop at the
@@ -103,38 +109,16 @@ def run_simulation(
     if isinstance(policy, str):
         policy = make_policy(policy)
     use_ff = fast_forward_default() if fast_forward is None else bool(fast_forward)
-    proc = Processor(config, policy, traces, steering=steering, telemetry=telemetry)
+    proc_cls = processor_class(resolve_backend(backend))
+    proc = proc_cls(config, policy, traces, steering=steering, telemetry=telemetry)
     if prewarm_caches:
         proc.prewarm_caches()
 
     t0 = time.perf_counter()
     if warmup_uops > 0:
-        while proc.cycle < max_cycles and proc.stats.committed < warmup_uops:
-            if use_ff:
-                proc.step_fast(max_cycles)
-            else:
-                proc.step()
-            if proc.any_done():
-                break
+        proc.run_loop(max_cycles, use_ff=use_ff, commit_target=warmup_uops)
         proc.reset_measurement()
-    if stop == "first_done":
-        while proc.cycle < max_cycles and not proc.any_done():
-            if use_ff:
-                proc.step_fast(max_cycles)
-            else:
-                proc.step()
-    elif stop == "all_done":
-        while proc.cycle < max_cycles and not proc.all_done():
-            if use_ff:
-                proc.step_fast(max_cycles)
-            else:
-                proc.step()
-    else:  # "cycles"
-        while proc.cycle < max_cycles:
-            if use_ff:
-                proc.step_fast(max_cycles)
-            else:
-                proc.step()
+    proc.run_loop(max_cycles, stop=stop, use_ff=use_ff)
     wall = time.perf_counter() - t0
 
     stats: SimStats = proc.finalize_stats()

@@ -1,0 +1,85 @@
+"""Structure-of-arrays static uop metadata for the vectorized engine.
+
+The reference interpreter derives everything about a uop from the
+:class:`~repro.isa.Uop` object at the moment each stage touches it —
+port class from ``PORT_CLASS_TABLE[uop.opclass]``, register class from
+``dest < NUM_ARCH_INT``, fetch-group breaks from ``opclass``/flag
+fields.  All of that is a pure function of the *trace record*, so the
+vectorized backend precomputes it once per trace with bulk NumPy column
+operations and reads flat arrays (plain lists, the fastest random-access
+container in CPython) inside its cycle loop.
+
+The arrays are indexed by trace sequence number and cover only the
+right path; wrong-path uops are synthesized on the fly and keep the
+reference slow path.  A :class:`TraceSoA` is immutable and cached on
+its :class:`~repro.trace.trace.Trace`, so repeated simulations of the
+same trace (sweeps, benchmarks) build it once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import NUM_ARCH_INT, UopClass
+from repro.isa.uops import PORT_CLASS_TABLE
+from repro.trace.trace import Trace
+
+_BRANCH = int(UopClass.BRANCH)
+_LOAD = int(UopClass.LOAD)
+_STORE = int(UopClass.STORE)
+
+
+class TraceSoA:
+    """Per-record static metadata columns of one trace.
+
+    ``plain``
+        True where fetch needs none of its slow paths: not a branch, not
+        an MROM complex op, not an indirect target — the fetch loop
+        appends these uops with zero per-record control flow.
+    ``is_mem``
+        loads and stores (MOB-allocating classes).
+    ``dest_class``
+        register class the destination would allocate (0=int, 1=fp;
+        meaningless where ``dest`` is ``NO_REG``).
+    ``port_class``
+        issue-port class per record (``PORT_CLASS_TABLE`` applied in
+        bulk).
+    """
+
+    __slots__ = ("n", "plain", "is_mem", "dest_class", "port_class")
+
+    def __init__(self, trace: Trace) -> None:
+        rec = trace.records
+        self.n = len(rec)
+        opclass = rec["opclass"]
+        slow = (
+            (opclass == _BRANCH)
+            | (rec["complex_op"] != 0)
+            | (rec["indirect"] != 0)
+        )
+        self.plain = (~slow).tolist()
+        self.is_mem = ((opclass == _LOAD) | (opclass == _STORE)).tolist()
+        self.dest_class = (rec["dest"] >= NUM_ARCH_INT).astype(np.uint8).tolist()
+        self.port_class = (
+            np.asarray(PORT_CLASS_TABLE, dtype=np.uint8)[opclass].tolist()
+        )
+
+
+def trace_soa(trace: Trace) -> TraceSoA:
+    """The (cached) :class:`TraceSoA` of ``trace``."""
+    soa = getattr(trace, "_soa", None)
+    if soa is None:
+        soa = TraceSoA(trace)
+        trace._soa = soa
+    return soa
+
+
+def thread_mem_lines(trace: Trace, mem_offset: int) -> list[int]:
+    """Per-record effective cache-line addresses for one hardware thread.
+
+    The reference fetch path computes ``mem_line + (tid << 33)`` per
+    fetched uop; this folds the thread's address-space offset in bulk.
+    Not cached on the trace: the offset is per *thread*, and the same
+    trace may back several threads.
+    """
+    return (trace.records["mem_line"] + mem_offset).tolist()

@@ -13,11 +13,15 @@ The model is deliberately simple and self-correcting:
 
 * the estimated runtime of an item is ``rate × total trace uops``, where
   ``rate`` (seconds per uop) is looked up in a bucket keyed by
-  ``(policy, workload kind, fast-forward on/off)``;
+  ``(policy, workload kind, cycle engine, fast-forward on/off)``;
 * buckets start from static priors (MEM > MIX > ILP, adaptive policies
-  above static ones, fast-forward discounting stall-heavy runs) and are
+  above static ones, the vectorized engine discounted against the
+  reference, fast-forward discounting stall-heavy runs) and are
   **calibrated** with an exponential moving average of observed per-item
   timings reported back by the pool;
+* calibration recorded before buckets were backend-keyed (three-segment
+  keys) is migrated on load to the ``reference`` engine, which is what
+  produced it;
 * calibration persists across processes in a JSON file
   (``benchmarks/results/cost_model.json`` in a development checkout,
   ``~/.cache/repro/cost_model.json`` otherwise; override with
@@ -62,6 +66,12 @@ POLICY_FACTOR = {
 #: off on memory-stalled runs, barely at all on ILP runs).
 FF_FACTOR = {"mem": 0.75, "mix": 0.85, "st": 0.95, "ilp": 1.0}
 
+#: Cycle-engine multipliers: the flattened SoA engine runs the same
+#: simulation in roughly half the time of the reference interpreter
+#: (see benchmarks/results/engine_speed.json).  Calibration refines this
+#: per bucket; only the relative order matters for LPT.
+BACKEND_FACTOR = {"reference": 1.0, "vectorized": 0.55}
+
 #: EWMA weight of a new observation against the bucket's current rate.
 ALPHA = 0.4
 
@@ -92,8 +102,10 @@ def default_path() -> Path | None:
     return Path.home() / ".cache" / "repro" / "cost_model.json"
 
 
-def item_features(item: "WorkItem") -> tuple[str, str, bool, int]:
-    """``(policy, kind, fast_forward, total_uops)`` of one work item."""
+def item_features(item: "WorkItem") -> tuple[str, str, bool, str, int]:
+    """``(policy, kind, fast_forward, backend, total_uops)`` of one item."""
+    from repro.core.backends import resolve_backend
+
     if item.single is not None:
         kind = "st"
         uops = item.single.n_uops
@@ -102,7 +114,21 @@ def item_features(item: "WorkItem") -> tuple[str, str, bool, int]:
         kind = item.workload.wtype
         uops = sum(t.n_uops for t in item.workload.traces)
     ff = ff_default() if item.fast_forward is None else bool(item.fast_forward)
-    return item.policy, kind, ff, uops
+    backend = item.backend if item.backend is not None else resolve_backend()
+    return item.policy, kind, ff, backend, uops
+
+
+def _migrate_key(key: str) -> str:
+    """Upgrade a pre-backend bucket key (``policy|kind|ff``) in place.
+
+    Those rates were measured on the reference interpreter (the only
+    engine that existed when they were recorded), so they land in its
+    buckets; vectorized buckets start from priors and calibrate fresh.
+    """
+    parts = key.split("|")
+    if len(parts) == 3:
+        return f"{parts[0]}|{parts[1]}|reference|{parts[2]}"
+    return key
 
 
 class CostModel:
@@ -123,7 +149,7 @@ class CostModel:
             data = json.loads(path.read_text())
             rates = data["rates"]
             self._rates = {
-                str(k): [float(v["rate"]), int(v["n"])]
+                _migrate_key(str(k)): [float(v["rate"]), int(v["n"])]
                 for k, v in rates.items()
                 if float(v["rate"]) > 0
             }
@@ -167,32 +193,41 @@ class CostModel:
     # -- estimation ---------------------------------------------------------
 
     @staticmethod
-    def _bucket(policy: str, kind: str, ff: bool) -> str:
-        return f"{policy}|{kind}|{'ff' if ff else 'step'}"
+    def _bucket(policy: str, kind: str, ff: bool, backend: str) -> str:
+        return f"{policy}|{kind}|{backend}|{'ff' if ff else 'step'}"
 
     @staticmethod
-    def _prior(policy: str, kind: str, ff: bool) -> float:
-        rate = BASE_RATE * KIND_FACTOR.get(kind, 1.2) * POLICY_FACTOR.get(policy, 1.0)
+    def _prior(policy: str, kind: str, ff: bool, backend: str) -> float:
+        rate = (
+            BASE_RATE
+            * KIND_FACTOR.get(kind, 1.2)
+            * POLICY_FACTOR.get(policy, 1.0)
+            * BACKEND_FACTOR.get(backend, 1.0)
+        )
         if ff:
             rate *= FF_FACTOR.get(kind, 1.0)
         return rate
 
-    def rate(self, policy: str, kind: str, ff: bool) -> float:
-        got = self._rates.get(self._bucket(policy, kind, ff))
-        return got[0] if got else self._prior(policy, kind, ff)
+    def rate(self, policy: str, kind: str, ff: bool, backend: str | None = None) -> float:
+        if backend is None:
+            from repro.core.backends import resolve_backend
+
+            backend = resolve_backend()
+        got = self._rates.get(self._bucket(policy, kind, ff, backend))
+        return got[0] if got else self._prior(policy, kind, ff, backend)
 
     def estimate(self, item: "WorkItem") -> float:
         """Expected wall-clock seconds for ``item``."""
-        policy, kind, ff, uops = item_features(item)
-        return self.rate(policy, kind, ff) * uops
+        policy, kind, ff, backend, uops = item_features(item)
+        return self.rate(policy, kind, ff, backend) * uops
 
     def observe(self, item: "WorkItem", seconds: float) -> None:
         """Fold one completed item's measured runtime into its bucket."""
-        policy, kind, ff, uops = item_features(item)
+        policy, kind, ff, backend, uops = item_features(item)
         if uops <= 0 or seconds <= 0:
             return
         observed = seconds / uops
-        bucket = self._bucket(policy, kind, ff)
+        bucket = self._bucket(policy, kind, ff, backend)
         got = self._rates.get(bucket)
         if got is None:
             self._rates[bucket] = [observed, 1]

@@ -187,6 +187,12 @@ class WorkItem:
     #: tri-state like ExperimentRunner.fast_forward: None defers to the
     #: worker's REPRO_FF environment (results are identical either way)
     fast_forward: bool | None = None
+    #: cycle engine the worker must use; the parent fills in its resolved
+    #: backend name so a sweep never mixes engines because of divergent
+    #: worker environments.  None (old items, hand-built tests) lets the
+    #: worker's own resolution stand.  Backends are bit-identical, so this
+    #: affects scheduling records and wall-clock only, never results.
+    backend: str | None = None
 
     def specs(self) -> tuple[TraceSpec, ...]:
         """The trace specs this item touches (for shared-memory lookup)."""
@@ -249,6 +255,8 @@ def _run_item(item: WorkItem, shm_names: dict[TraceSpec, str] | None = None):
     runner.telemetry_dir = Path(item.telemetry_dir) if item.telemetry_dir else None
     runner.telemetry_config = item.telemetry
     runner.fast_forward = item.fast_forward
+    if item.backend is not None:
+        runner.backend = item.backend
     if item.single is not None:
         rec = runner.run_single(
             item.config, _worker_trace(item.single, names.get(item.single))
@@ -456,6 +464,7 @@ def run_items(
                         "scale": key.scale,
                         "policy": key.policy,
                         "workload": key.workload,
+                        "backend": item.backend or runner.backend,
                         "predicted_s": round(estimates[id(item)], 6),
                         "elapsed_s": round(seconds, 6),
                         "wait_s": round(
@@ -532,6 +541,7 @@ def sweep_items(
                     telemetry=tel_cfg,
                     telemetry_dir=tel_dir,
                     fast_forward=runner.fast_forward,
+                    backend=runner.backend,
                 )
             )
     return items
@@ -564,6 +574,7 @@ def single_items(
                 telemetry=tel_cfg,
                 telemetry_dir=tel_dir,
                 fast_forward=runner.fast_forward,
+                backend=runner.backend,
             )
         )
     return items

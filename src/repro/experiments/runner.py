@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from repro.config import ProcessorConfig, baseline_config
+from repro.core.backends import resolve_backend
 from repro.core.simulator import SimResult, run_simulation
 from repro.telemetry import Telemetry, TelemetryConfig, export_all, exports_complete
 from repro.trace.trace import Trace
@@ -146,6 +147,7 @@ class ExperimentRunner:
         telemetry: TelemetryConfig | None = None,
         fast_forward: bool | None = None,
         resume: bool = False,
+        backend: str | None = None,
     ) -> None:
         if scale is None:
             scale = scale_from_env()
@@ -179,6 +181,14 @@ class ExperimentRunner:
         # bit-identical either way; the flag exists so ``--no-fast-forward``
         # runs can validate the engine against pure stepping.
         self.fast_forward = fast_forward
+        # Cycle-engine selection for every simulation this runner launches.
+        # Resolved eagerly (argument > REPRO_BACKEND > default) so an
+        # invalid name fails here, at construction, and so worker processes
+        # receive a concrete backend name via their WorkItems instead of
+        # re-reading their own environment.  Backends are bit-identical by
+        # contract, so RunKey (and the disk cache) deliberately does not
+        # include the backend; the sweep log records which one ran.
+        self.backend = resolve_backend(backend)
         self.sims_run = 0
         self.cache_hits = 0
         # Checkpoint journal: every completed key is recorded next to the
@@ -387,6 +397,7 @@ class ExperimentRunner:
             prewarm_caches=True,
             telemetry=tel,
             fast_forward=self.fast_forward,
+            backend=self.backend,
         )
         rec = RunRecord.from_result(res)
         if tel is not None and teldir is not None:
@@ -419,6 +430,7 @@ class ExperimentRunner:
             prewarm_caches=True,
             telemetry=tel,
             fast_forward=self.fast_forward,
+            backend=self.backend,
         )
         rec = RunRecord.from_result(res)
         if tel is not None and teldir is not None:

@@ -18,15 +18,19 @@ The table supports exact undo (for branch/flush squash walks) via the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.backend.regfile import READY_EVERYWHERE
 from repro.isa import NO_REG, NUM_ARCH_REGS
 
 
-@dataclass(frozen=True)
-class Mapping:
-    """Snapshot of one architectural register's physical location(s)."""
+class Mapping(NamedTuple):
+    """Snapshot of one architectural register's physical location(s).
+
+    A ``NamedTuple``: squash walks and copy generation build one per
+    undo/lookup, and tuple construction is several times cheaper than a
+    frozen dataclass's ``object.__setattr__`` per field.
+    """
 
     cluster: int        # home cluster (-1 when READY_EVERYWHERE)
     phys: int           # home physical register or READY_EVERYWHERE

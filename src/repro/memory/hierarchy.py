@@ -13,16 +13,20 @@ matters for pointer-chase loops.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.config import MemoryConfig
 from repro.memory.cache import SetAssocCache
 from repro.memory.tlb import TLB
 
 
-@dataclass(frozen=True)
-class AccessResult:
-    """Outcome of a data-side access."""
+class AccessResult(NamedTuple):
+    """Outcome of a data-side access.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the cycle loop builds
+    one per data access, and tuple construction skips the per-field
+    ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     latency: int        # total cycles from access start to data ready
     l1_hit: bool

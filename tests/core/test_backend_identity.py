@@ -1,0 +1,155 @@
+"""Cross-backend bit-identity: ``vectorized`` vs the ``reference`` oracle.
+
+The vectorized engine re-implements the cycle loop as one flattened
+function over structure-of-arrays state (:mod:`repro.core.vectorized`);
+its contract is that *nothing observable changes*: every stats counter,
+every telemetry artifact byte, under every policy, with fast-forward on
+or off.  These tests are the gate on that contract — the same pattern the
+fast-forward identity suite pins for step-vs-jump, applied across the
+backend seam.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.simulator import run_simulation
+from repro.policies import POLICY_NAMES, make_policy
+from repro.telemetry import Telemetry, TelemetryConfig
+from repro.trace.synthesis import TraceProfile, generate_trace
+
+
+def _policy(name):
+    # quick-scale adaptation interval so CDPRF re-partitions in short runs
+    return make_policy(name, interval=1024) if name == "cdprf" else make_policy(name)
+
+
+def _run(config, policy_name, traces, backend, fast_forward, telemetry=None, **kw):
+    kw.setdefault("max_cycles", 60_000)
+    kw.setdefault("warmup_uops", 300)
+    kw.setdefault("prewarm_caches", True)
+    return run_simulation(
+        config,
+        _policy(policy_name),
+        list(traces),
+        telemetry=telemetry,
+        fast_forward=fast_forward,
+        backend=backend,
+        **kw,
+    )
+
+
+def _assert_identical(ref, vec):
+    assert vec.cycles == ref.cycles
+    assert vec.committed == ref.committed
+    assert vec.committed_per_thread == ref.committed_per_thread
+    assert vec.ipc == ref.ipc
+    assert vec.stats == ref.stats
+
+
+@pytest.mark.parametrize("ff", [False, True], ids=["step", "ff"])
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_bit_identical_stats(config, policy, ff, ilp_trace, mem_trace):
+    """Every policy, ff on and off: identical full stats dicts."""
+    traces = [ilp_trace, mem_trace]
+    ref = _run(config, policy, traces, "reference", ff)
+    vec = _run(config, policy, traces, "vectorized", ff)
+    _assert_identical(ref, vec)
+
+
+@pytest.mark.parametrize("ff", [False, True], ids=["step", "ff"])
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_bit_identical_telemetry(config, policy, ff, mem_trace, ilp_trace_b, tmp_path):
+    """Every policy, telemetry attached: identical stats AND byte-identical
+    telemetry exports (interval samples, event traces)."""
+    traces = [mem_trace, ilp_trace_b]
+    out = {}
+    results = {}
+    for backend in ("reference", "vectorized"):
+        tel = Telemetry(TelemetryConfig(sample_interval=512))
+        results[backend] = _run(config, policy, traces, backend, ff, telemetry=tel)
+        out[backend] = tel.export(tmp_path / backend, meta={"run": "backend-identity"})
+    _assert_identical(results["reference"], results["vectorized"])
+    assert out["vectorized"].keys() == out["reference"].keys()
+    for name, path in out["vectorized"].items():
+        assert path.read_bytes() == out["reference"][name].read_bytes(), (
+            f"{name} telemetry export differs between backends"
+        )
+
+
+@pytest.fixture(scope="module")
+def feature_trace():
+    """Indirect branches + MROM complex ops: exercises every fetch slow path."""
+    profile = TraceProfile(
+        name="test-feature",
+        frac_load=0.22,
+        frac_store=0.08,
+        frac_branch=0.12,
+        frac_indirect=0.3,
+        indirect_targets=5,
+        frac_complex=0.05,
+        dep_mean_distance=6.0,
+        dep_locality=0.4,
+        working_set_lines=500,
+        stride_frac=0.6,
+        branch_bias=0.85,
+        int_regs_used=12,
+        fp_regs_used=6,
+        n_blocks=32,
+    )
+    return generate_trace(profile, seed=7, n_uops=3000, kind="ilp")
+
+
+@pytest.mark.parametrize("policy", ["icount", "flush+", "cdprf"])
+def test_identical_with_indirect_and_mrom(config, policy, feature_trace, mem_trace):
+    """Fetch slow paths (indirect predictor, MROM serialization) and the
+    squash-heavy wrong-path machinery stay identical."""
+    traces = [feature_trace, mem_trace]
+    ref = _run(config, policy, traces, "reference", True)
+    vec = _run(config, policy, traces, "vectorized", True)
+    _assert_identical(ref, vec)
+
+
+@pytest.mark.parametrize("stop", ["first_done", "all_done", "cycles"])
+def test_identical_across_stop_modes(config, stop, ilp_trace, ilp_trace_b):
+    kw = {"stop": stop}
+    if stop == "cycles":
+        kw["max_cycles"] = 5_000
+    ref = _run(config, "stall", [ilp_trace, ilp_trace_b], "reference", True, **kw)
+    vec = _run(config, "stall", [ilp_trace, ilp_trace_b], "vectorized", True, **kw)
+    _assert_identical(ref, vec)
+
+
+def test_identical_single_thread(config, mem_trace):
+    cfg = config.with_threads(1)
+    ref = _run(cfg, "icount", [mem_trace], "reference", True, stop="all_done")
+    vec = _run(cfg, "icount", [mem_trace], "vectorized", True, stop="all_done")
+    _assert_identical(ref, vec)
+
+
+def test_identical_no_warmup_no_prewarm(config, ilp_trace, mem_trace):
+    """Cold start (no warmup phase, cold caches) — the run_loop seam's
+    single-phase path."""
+    for kw in ({"warmup_uops": 0, "prewarm_caches": False},):
+        ref = _run(config, "cssp", [ilp_trace, mem_trace], "reference", True, **kw)
+        vec = _run(config, "cssp", [ilp_trace, mem_trace], "vectorized", True, **kw)
+        _assert_identical(ref, vec)
+
+
+def test_identical_unbounded_machine(unbounded_config, ilp_trace, mem_trace):
+    """Figure 2's unbounded-resource machine grows register files on the
+    slow path; both backends must grow identically."""
+    ref = _run(unbounded_config, "icount", [ilp_trace, mem_trace], "reference", True)
+    vec = _run(unbounded_config, "icount", [ilp_trace, mem_trace], "vectorized", True)
+    _assert_identical(ref, vec)
+
+
+def test_vectorized_processor_reports_backend(config, ilp_trace, mem_trace):
+    from repro.core.backends import make_processor
+
+    proc = make_processor("vectorized", config, make_policy("icount"),
+                          [ilp_trace, mem_trace])
+    assert proc.backend_name == "vectorized"
+    ref = make_processor("reference", config, make_policy("icount"),
+                         [ilp_trace, mem_trace])
+    assert ref.backend_name == "reference"
