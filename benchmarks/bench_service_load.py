@@ -1,0 +1,288 @@
+#!/usr/bin/env python
+"""Many-client load generator for the simulation service.
+
+Two phases against in-process :class:`BackgroundService` instances
+(fresh cache dir each, so nothing is pre-warmed):
+
+* **dedup** — N tenants submit the *identical* smoke sweep
+  concurrently.  Content-keyed dedup must coalesce them onto one
+  execution: pool-work savings = ``1 - executed / (N * items)``,
+  which is 90% for N=10 on a 6-item sweep.  Submit and turnaround
+  latencies (p50/p99) are recorded here.
+* **fairness** — tenants ``gold`` (weight 3) and ``silver`` (weight 1)
+  each submit a backlog of *distinct* sweeps (different ``iq_entries``,
+  so dedup cannot help) against a saturated pool.  A sampler polls
+  ``/v1/stats`` while both tenants are backlogged; time-averaged slot
+  occupancy must match the 3:1 weights within 10 points, and the
+  weight-normalized service-time balance is reported through
+  :func:`repro.metrics.fairness` (1.0 = perfectly weight-proportional).
+
+Prints a JSON summary, merges it into
+``benchmarks/results/service_load.json`` (or ``--out``), and exits
+non-zero if either acceptance bar fails — CI runs this with ``--quick``.
+
+Usage: python benchmarks/bench_service_load.py [--quick] [--slots N]
+           [--executor process|thread] [--clients N] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.metrics.fairness import fairness  # noqa: E402
+from repro.service import (  # noqa: E402
+    BackgroundService,
+    ServiceClient,
+    ServiceSettings,
+)
+
+SWEEP = {
+    "scale": "smoke",
+    "policies": ["icount", "cssp"],
+    "categories": ["ISPEC00"],
+    "iq_entries": 32,
+    "unbounded_regs": True,
+    "unbounded_rob": True,
+}
+ITEMS_PER_SWEEP = 6  # 2 policies x 3 ISPEC00 smoke workloads
+
+
+def pct(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def phase_dedup(args: argparse.Namespace) -> dict:
+    """N identical concurrent sweeps -> one execution, N results."""
+    n = args.clients
+    with tempfile.TemporaryDirectory(prefix="repro-svc-dedup-") as tmp:
+        settings = ServiceSettings(
+            port=0, cache_dir=tmp, slots=args.slots,
+            executor=args.executor, default_scale="smoke", rate=None,
+        )
+        with BackgroundService(settings) as bg:
+            clients = [
+                ServiceClient(port=bg.port, tenant=f"tenant{i}")
+                for i in range(n)
+            ]
+            submit_lat: list[float] = []
+            turnaround: list[float] = []
+            lock = threading.Lock()
+            t_start = time.perf_counter()
+
+            def one(client: ServiceClient) -> dict:
+                t0 = time.perf_counter()
+                job = client.submit_sweep(SWEEP)
+                t1 = time.perf_counter()
+                done = client.wait(job["id"], timeout=900, poll=0.02)
+                t2 = time.perf_counter()
+                with lock:
+                    submit_lat.append(t1 - t0)
+                    turnaround.append(t2 - t0)
+                return done
+
+            with ThreadPoolExecutor(max_workers=n) as pool:
+                docs = list(pool.map(one, clients))
+            wall = time.perf_counter() - t_start
+            stats = clients[0].stats()
+
+    executed = stats["executed_items"]
+    requested = n * ITEMS_PER_SWEEP
+    savings = 1.0 - executed / requested
+    return {
+        "clients": n,
+        "items_per_sweep": ITEMS_PER_SWEEP,
+        "requested_items": requested,
+        "executed_items": executed,
+        "pool_work_savings": round(savings, 4),
+        "jobs_deduped": stats["jobs_deduped"],
+        "all_done": all(d["state"] == "done" for d in docs),
+        "results_agree": len(
+            {json.dumps(d["result"]["records"], sort_keys=True) for d in docs}
+        ) == 1,
+        "wall_s": round(wall, 3),
+        "throughput_results_per_s": round(requested / wall, 2),
+        "submit_p50_ms": round(pct(submit_lat, 0.50) * 1e3, 2),
+        "submit_p99_ms": round(pct(submit_lat, 0.99) * 1e3, 2),
+        "turnaround_p50_s": round(pct(turnaround, 0.50), 3),
+        "turnaround_p99_s": round(pct(turnaround, 0.99), 3),
+    }
+
+
+def phase_fairness(args: argparse.Namespace) -> dict:
+    """Saturated 3:1 tenants -> 3:1 time-averaged slot occupancy."""
+    weights = {"gold": 3.0, "silver": 1.0}
+    per_tenant = args.fairness_jobs
+    # distinct iq_entries per job defeat both dedup levels
+    specs = {
+        "gold": [dict(SWEEP, iq_entries=17 + i) for i in range(per_tenant)],
+        "silver": [dict(SWEEP, iq_entries=33 + i) for i in range(per_tenant)],
+    }
+    samples: list[dict[str, tuple[int, int]]] = []
+    stop = threading.Event()
+
+    with tempfile.TemporaryDirectory(prefix="repro-svc-fair-") as tmp:
+        settings = ServiceSettings(
+            port=0, cache_dir=tmp, slots=args.slots,
+            executor=args.executor, default_scale="smoke",
+            tenants=weights, rate=None,
+        )
+        with BackgroundService(settings) as bg:
+            poller = ServiceClient(port=bg.port, tenant="observer")
+
+            def sample_loop() -> None:
+                while not stop.is_set():
+                    try:
+                        tenants = poller.stats()["scheduler"]["tenants"]
+                    except Exception:
+                        break
+                    samples.append(
+                        {
+                            name: (t["in_use"], t["queued_jobs"])
+                            for name, t in tenants.items()
+                            if name in weights
+                        }
+                    )
+                    time.sleep(0.015)
+
+            sampler = threading.Thread(target=sample_loop, daemon=True)
+            job_ids: dict[str, list[str]] = {}
+            clients = {
+                name: ServiceClient(port=bg.port, tenant=name)
+                for name in weights
+            }
+            t_start = time.perf_counter()
+            # interleave submissions so both backlogs exist from the start
+            for i in range(per_tenant):
+                for name in weights:
+                    job_ids.setdefault(name, []).append(
+                        clients[name].submit_sweep(specs[name][i])["id"]
+                    )
+            sampler.start()
+            for name, ids in job_ids.items():
+                for job_id in ids:
+                    clients[name].wait(job_id, timeout=900, poll=0.02)
+            wall = time.perf_counter() - t_start
+            stop.set()
+            sampler.join(timeout=5)
+            tenants = poller.stats()["scheduler"]["tenants"]
+
+    # saturation = every slot busy while both tenants are backlogged;
+    # the first few such samples are dropped (startup transient: jobs
+    # still preparing, the pool filling in arrival rather than fair order)
+    saturated = [
+        s for s in samples
+        if all(s[name][1] >= 1 for name in weights)
+        and sum(s[name][0] for name in weights) >= args.slots
+    ]
+    saturated = saturated[min(10, len(saturated) // 5):]
+    share = {
+        name: (
+            statistics.mean(
+                s[name][0] / sum(s[t][0] for t in weights)
+                for s in saturated
+            )
+            if saturated
+            else 0.0
+        )
+        for name in weights
+    }
+    weight_total = sum(weights.values())
+    target = {name: w / weight_total for name, w in weights.items()}
+    total_items = 2 * per_tenant * ITEMS_PER_SWEEP
+    return {
+        "weights": weights,
+        "jobs_per_tenant": per_tenant,
+        "total_items": total_items,
+        "wall_s": round(wall, 3),
+        "throughput_items_per_s": round(total_items / wall, 2),
+        "saturated_samples": len(saturated),
+        "slot_share": {k: round(v, 4) for k, v in share.items()},
+        "target_share": target,
+        "share_error": {
+            k: round(abs(share[k] - target[k]), 4) for k in weights
+        },
+        "busy_seconds": {
+            name: tenants[name]["busy_seconds"] for name in weights
+        },
+        # min-ratio fairness of saturated slot shares, weight-normalized:
+        # 1.0 = each tenant's occupancy is exactly proportional to its
+        # weight while both are backlogged.  (End-of-run busy_seconds are
+        # workload-determined, not scheduler-determined — once one tenant
+        # drains its backlog the other gets the whole pool by design.)
+        "weighted_slot_fairness": round(
+            fairness(
+                [share[name] for name in weights],
+                [weights[name] for name in weights],
+            ),
+            4,
+        )
+        if all(share[name] > 0 for name in weights)
+        else 0.0,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller client counts (CI)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="dedup-phase client count (default 10; quick 5)")
+    parser.add_argument("--slots", type=int, default=4)
+    parser.add_argument("--executor", choices=("process", "thread"),
+                        default="process")
+    parser.add_argument("--fairness-jobs", type=int, default=6,
+                        help="sweeps per tenant in the fairness phase "
+                        "(default 6; fewer jobs leave too few saturated "
+                        "samples for the share average to converge)")
+    parser.add_argument("--out", default=None,
+                        help="summary JSON path (default "
+                        "benchmarks/results/service_load.json)")
+    args = parser.parse_args()
+    if args.clients is None:
+        args.clients = 5 if args.quick else 10
+
+    dedup = phase_dedup(args)
+    fair = phase_fairness(args)
+
+    ok_dedup = (
+        dedup["all_done"]
+        and dedup["results_agree"]
+        and dedup["pool_work_savings"] >= 1.0 - 1.0 / dedup["clients"] - 1e-9
+    )
+    ok_fair = all(err <= 0.10 for err in fair["share_error"].values())
+    summary = {
+        "slots": args.slots,
+        "executor": args.executor,
+        "dedup": dedup,
+        "fairness": fair,
+        "ok_dedup": ok_dedup,
+        "ok_fairness": ok_fair,
+        "ok": ok_dedup and ok_fair,
+    }
+    print(json.dumps(summary, indent=1))
+
+    out = Path(args.out) if args.out else (
+        REPO / "benchmarks" / "results" / "service_load.json"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(summary, indent=1, sort_keys=True) + "\n")
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

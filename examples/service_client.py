@@ -1,0 +1,92 @@
+"""Simulation-as-a-service worked example: submit, stream, dedup.
+
+Self-hosting: starts an in-process service on a free port (thread
+executor, smoke scale — no separate server needed), then drives it the
+way a real client would:
+
+1. ``alice`` submits a small Figure-2-style sweep over HTTP and follows
+   the NDJSON progress stream to completion;
+2. ``bob`` submits the *identical* sweep while knowing nothing about
+   alice — content-keyed dedup hands him her execution (and then her
+   result) without one extra simulation;
+3. both compare records, and the ``/v1/stats`` counters show the
+   dedup and fair-scheduling bookkeeping.
+
+Against a long-running server (``repro-sim serve``), drop the
+``BackgroundService`` block and point :class:`ServiceClient` at its
+host/port — the client code is identical.
+
+Run:  python examples/service_client.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.service import BackgroundService, ServiceClient, ServiceSettings
+
+SWEEP = {
+    "scale": "smoke",
+    "policies": ["icount", "cssp"],
+    "categories": ["ISPEC00"],
+    "iq_entries": 32,
+    "unbounded_regs": True,  # Figure 2 isolates the IQ: no register bound
+    "unbounded_rob": True,
+}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-service-example-") as tmp:
+        settings = ServiceSettings(
+            port=0,  # pick a free port
+            cache_dir=tmp,
+            slots=2,
+            executor="thread",  # in-process; "process" uses the worker pool
+            default_scale="smoke",
+            tenants={"alice": 3.0, "bob": 1.0},
+        )
+        with BackgroundService(settings) as bg:
+            alice = ServiceClient(port=bg.port, tenant="alice")
+            bob = ServiceClient(port=bg.port, tenant="bob")
+
+            # 1. alice submits; bob submits the identical sweep right
+            # behind her — his job coalesces onto hers (zero new work)
+            job = alice.submit_sweep(SWEEP)
+            print(f"alice submitted {job['id']} "
+                  f"(content key {job['content_key']})")
+            twin = bob.submit_sweep(SWEEP)
+            print(f"bob submitted {twin['id']}: "
+                  f"deduped={twin['deduped']} primary={twin.get('primary')}")
+
+            # 2. alice follows the NDJSON progress stream to completion
+            for event in alice.stream(job["id"], timeout=600):
+                kind = event["event"]
+                if kind == "item":
+                    print(f"  [{event['done']}/{event['total']}] "
+                          f"{event['policy']:>8} {event['workload']} "
+                          f"({event['mode']})")
+                elif kind in ("done", "failed", "cancelled"):
+                    print(f"  -> {kind}: {event['executed']} executed, "
+                          f"{event['hits']} cache hits")
+
+            result_a = alice.wait(job["id"], timeout=600)["result"]
+            result_b = bob.wait(twin["id"], timeout=600)["result"]
+            same = result_a["records"] == result_b["records"]
+            print(f"records identical for both tenants: {same}")
+
+            ipcs = {
+                key.split("|")[0]: rec["ipc"]
+                for key, rec in sorted(result_a["records"].items())
+            }
+            for policy, ipc in sorted(ipcs.items()):
+                print(f"  {policy:>8}  IPC {ipc:.3f}  (last workload)")
+
+            stats = alice.stats()
+            print(f"server totals: {stats['executed_items']} executed, "
+                  f"{stats['jobs_deduped']} jobs deduped, "
+                  f"{stats['cache_hits']} cache hits")
+            assert same and stats["jobs_deduped"] >= 1
+
+
+if __name__ == "__main__":
+    main()

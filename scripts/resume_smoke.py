@@ -13,7 +13,16 @@ Prints a one-line JSON summary on success and exits non-zero on any
 violation.  Used by tests/experiments/test_resume.py and by the
 ``sweep-parallel-consistency`` CI job.
 
-Usage: python scripts/resume_smoke.py [--cache-dir DIR]
+With ``--server`` the same exactly-once guarantee is asserted one layer
+up: a ``repro-sim serve`` subprocess takes a 12-item sweep over HTTP,
+is SIGTERMed mid-sweep (graceful shutdown drains in-flight items and
+serializes the job to ``service_state.json``), and a restarted server
+on the same cache dir resumes the job **under its original id** and
+finishes it — with every simulation appearing exactly once across both
+lives in ``sweep_trace.jsonl`` and the journal.  Used by the
+``service-smoke`` CI job.
+
+Usage: python scripts/resume_smoke.py [--cache-dir DIR] [--server]
 """
 
 from __future__ import annotations
@@ -49,9 +58,137 @@ runner.sweep(figure2_config(32), {POLICIES!r}, label="kill-target")
 """
 
 
+SERVER_SWEEP = {
+    "scale": "smoke",
+    "policies": POLICIES,
+    "categories": ["ISPEC00"],
+    "iq_entries": 32,
+    "unbounded_regs": True,
+    "unbounded_rob": True,
+}
+
+
+def _start_server(cache_dir: Path) -> tuple[subprocess.Popen, int]:
+    """Launch ``repro-sim serve --port 0`` and return (process, port)."""
+    import re
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--cache-dir", str(cache_dir),
+            "--jobs", "1",          # one slot: the sweep survives the kill
+            "--executor", "process",
+            "--scale", "smoke",
+            "--rate", "0",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    assert proc.stderr is not None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited before announcing a port (rc={proc.poll()})"
+            )
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise RuntimeError("server did not announce a port within 60s")
+
+
+def server_mode(cache_dir: Path) -> dict:
+    """Kill/restart a *server* mid-sweep; assert exactly-once completion."""
+    from repro.service.client import ServiceClient
+
+    journal = cache_dir / "sweep.journal"
+    trace = cache_dir / "sweep_trace.jsonl"
+    state_file = cache_dir / "service_state.json"
+    total = len(POLICIES) * 3  # ISPEC00 has 3 workloads at smoke scale
+
+    # 1. first life: submit, wait for real progress, SIGTERM
+    proc, port = _start_server(cache_dir)
+    client = ServiceClient(port=port, tenant="resume")
+    client.wait_ready(timeout=60)
+    job_id = client.submit_sweep(SERVER_SWEEP)["id"]
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline and proc.poll() is None:
+        try:
+            if len(journal.read_text().splitlines()) >= 1:
+                break
+        except OSError:
+            pass
+        time.sleep(0.02)
+    killed_mid_run = proc.poll() is None
+    proc.send_signal(signal.SIGTERM)
+    first_exit = proc.wait(timeout=120)
+    journaled_before = len(journal.read_text().splitlines())
+    state_saved = state_file.exists()
+
+    # 2. second life: same cache dir, the job resumes under its own id
+    proc, port = _start_server(cache_dir)
+    try:
+        client = ServiceClient(port=port, tenant="resume")
+        client.wait_ready(timeout=60)
+        final = client.wait(job_id, timeout=600, poll=0.1)
+        resumed_flag = bool(final.get("resumed"))
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        second_exit = proc.wait(timeout=120)
+
+    # 3. exactly-once verdicts across both lives
+    executed = [
+        (row["policy"], row["workload"])
+        for row in map(json.loads, trace.read_text().splitlines())
+    ]
+    journaled = journal.read_text().splitlines()
+    summary = {
+        "mode": "server",
+        "total": total,
+        "killed_mid_run": killed_mid_run,
+        "state_saved": state_saved,
+        "journaled_before_restart": journaled_before,
+        "resumed_job_id_preserved": resumed_flag,
+        "final_state": final.get("state"),
+        "first_life_executed": journaled_before,
+        "second_life_executed": final.get("executed"),
+        "resumed_hits": final.get("hits"),
+        "trace_rows": len(executed),
+        "trace_unique": len(set(executed)),
+        "first_exit": first_exit,
+        "second_exit": second_exit,
+    }
+    summary["ok"] = (
+        final.get("state") == "done"
+        # every simulation ran exactly once across both lives
+        and len(executed) == len(set(executed)) == total
+        and len(journaled) == len(set(journaled)) == total
+        # the restarted job skipped exactly what the first life finished
+        and final.get("hits") == journaled_before
+        and final.get("executed") == total - journaled_before
+        and (not killed_mid_run or (state_saved and resumed_flag))
+        and first_exit == 0
+        and second_exit == 0
+    )
+    return summary
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cache-dir", default=None)
+    parser.add_argument(
+        "--server",
+        action="store_true",
+        help="kill/restart a repro-sim serve subprocess instead of a bare "
+        "sweep, asserting exactly-once completion across the restart",
+    )
     args = parser.parse_args()
 
     tmp = None
@@ -60,6 +197,15 @@ def main() -> int:
         cache_dir = Path(tmp.name) / "cache"
     else:
         cache_dir = Path(args.cache_dir)
+
+    if args.server:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        summary = server_mode(cache_dir)
+        print(json.dumps(summary))
+        if tmp is not None:
+            tmp.cleanup()
+        return 0 if summary["ok"] else 1
+
     journal = cache_dir / "sweep.journal"
 
     # 1. start a serial sweep and kill it once the journal shows progress

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Byte-identity smoke test for the simulation service.
+
+Runs the same Figure-2-style smoke sweep twice:
+
+* **direct** — a plain serial :class:`ExperimentRunner` into cache dir A;
+* **service** — a real ``repro-sim serve`` subprocess (process-pool
+  executor) into cache dir B, driven over HTTP by :class:`ServiceClient`.
+
+Then asserts the service path changed nothing:
+
+* every cache file in A exists in B with **byte-for-byte identical**
+  contents (the service writes through the exact same cache writer);
+* the HTTP result document contains exactly those records;
+* a second submission from another tenant completes with zero executed
+  simulations (all cache hits + job-level dedup).
+
+Prints a one-line JSON summary and exits non-zero on any violation.
+Used by the ``service-smoke`` CI job.
+
+Usage: python scripts/service_smoke.py [--keep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+SWEEP = {
+    "scale": "smoke",
+    "policies": ["icount", "cssp"],
+    "categories": ["ISPEC00"],
+    "iq_entries": 32,
+    "unbounded_regs": True,
+    "unbounded_rob": True,
+}
+
+READY_RE = re.compile(r"http://127\.0\.0\.1:(\d+)")
+
+
+def start_server(cache_dir: Path, slots: int = 2) -> tuple[subprocess.Popen, int]:
+    """Launch ``repro-sim serve --port 0`` and return (process, port)."""
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--cache-dir", str(cache_dir),
+            "--jobs", str(slots),
+            "--executor", "process",
+            "--scale", "smoke",
+            "--rate", "0",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    assert proc.stderr is not None
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited before announcing a port "
+                f"(rc={proc.poll()})"
+            )
+        match = READY_RE.search(line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise RuntimeError("server did not announce a port within 60s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--keep", action="store_true",
+        help="keep the temporary cache dirs for inspection",
+    )
+    args = parser.parse_args()
+
+    from repro.experiments.runner import ExperimentRunner
+    from repro.service.client import ServiceClient
+    from repro.service.spec import JobSpec
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-service-smoke-")
+    root = Path(tmp.name)
+    direct_dir, service_dir = root / "direct", root / "service"
+
+    # 1. direct serial reference run
+    spec = JobSpec.from_json("sweep", SWEEP)
+    runner = ExperimentRunner("smoke", cache_dir=direct_dir)
+    config = spec.config()
+    t0 = time.perf_counter()
+    for wl in spec.workloads(runner.pool):
+        for policy in spec.policies:
+            runner.run(config, policy, wl)
+    direct_s = time.perf_counter() - t0
+    direct_files = sorted(
+        p.name for p in direct_dir.glob("*.json")
+    )
+
+    # 2. the same sweep through a real server subprocess
+    proc, port = start_server(service_dir)
+    try:
+        client = ServiceClient(port=port, tenant="smoke")
+        client.wait_ready(timeout=30)
+        t0 = time.perf_counter()
+        job = client.submit_sweep(SWEEP)
+        done = client.wait(job["id"], timeout=900)
+        service_s = time.perf_counter() - t0
+
+        # dedup pass: another tenant submits the identical sweep
+        other = ServiceClient(port=port, tenant="smoke2")
+        rerun = other.wait(other.submit_sweep(SWEEP)["id"], timeout=120)
+        stats = client.stats()
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=120)
+
+    # 3. verdicts
+    mismatched: list[str] = []
+    for name in direct_files:
+        peer = service_dir / name
+        if not peer.exists():
+            mismatched.append(f"missing:{name}")
+        elif peer.read_bytes() != (direct_dir / name).read_bytes():
+            mismatched.append(f"differs:{name}")
+
+    records = done.get("result", {}).get("records", {})
+    records_match = len(records) == len(direct_files) and all(
+        records[f"{policy}|{wl.category}|{wl.name}"]
+        == json.loads(
+            (direct_dir / runner.key_for(config, policy, wl).filename())
+            .read_text()
+        )
+        for wl in spec.workloads(runner.pool)
+        for policy in spec.policies
+    )
+
+    summary = {
+        "total": len(direct_files),
+        "direct_s": round(direct_s, 3),
+        "service_s": round(service_s, 3),
+        "byte_identical": not mismatched,
+        "mismatched": mismatched,
+        "records_match": records_match,
+        "service_executed": done.get("executed"),
+        "rerun_executed": rerun.get("executed"),
+        "rerun_state": rerun.get("state"),
+        "jobs_deduped": stats.get("jobs_deduped"),
+        "server_exit": rc,
+    }
+    ok = (
+        done.get("state") == "done"
+        and summary["total"] == 6
+        and not mismatched
+        and records_match
+        and done.get("executed") == 6
+        and rerun.get("state") == "done"
+        and rerun.get("executed") == 0
+        and rc == 0
+    )
+    print(json.dumps(summary))
+    if not args.keep:
+        tmp.cleanup()
+    else:
+        print(f"caches kept in {root}", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

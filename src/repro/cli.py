@@ -6,7 +6,11 @@ Subcommands:
 * ``pool``    — print the Table 2 workload pool at a given scale;
 * ``run``     — simulate one workload under one policy and dump statistics;
 * ``figure``  — regenerate one of the paper's figures (2, 3, 4, 5, 6, 9,
-  10, ``headline`` or ``table2``) and print the table.
+  10, ``headline`` or ``table2``) and print the table;
+* ``serve``   — run the simulation service (HTTP/JSON API over the
+  worker pool with fair multi-tenant scheduling and request dedup);
+* ``submit``  — submit a run or sweep to a running service and wait for
+  (or stream) the result.
 """
 
 from __future__ import annotations
@@ -133,7 +137,210 @@ def _build_parser() -> argparse.ArgumentParser:
         "REPRO_BACKEND or the built-in default); results and cache "
         "entries are bit-identical across backends",
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the simulation service (HTTP/JSON API over the pool)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="listen port (0 = pick a free port and print it)",
+    )
+    p_serve.add_argument("--cache-dir", default=".repro-service")
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="pool slots shared by all tenants "
+        "(default: REPRO_JOBS or all cores)",
+    )
+    p_serve.add_argument(
+        "--tenants",
+        type=_tenants_arg,
+        default=None,
+        metavar="NAME[:WEIGHT],...",
+        help="pre-registered tenant weights like alice:3,bob:1 "
+        "(unknown tenants auto-register at weight 1)",
+    )
+    p_serve.add_argument(
+        "--rate",
+        type=_rate_arg,
+        default=20.0,
+        metavar="R",
+        help="per-tenant request rate limit in req/s; 0 disables "
+        "(default 20)",
+    )
+    p_serve.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="B",
+        help="token-bucket burst capacity (default: max(1, rate))",
+    )
+    p_serve.add_argument(
+        "--queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-tenant queued-job bound; overflow answers 429 "
+        "(default 64)",
+    )
+    p_serve.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help="how simulations run: the persistent worker pool (default) "
+        "or in-process threads (tests/debugging)",
+    )
+    p_serve.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="quick",
+        help="default scale for requests that omit one",
+    )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a job to a running service and wait for the result",
+    )
+    p_submit.add_argument("kind", choices=("run", "sweep"))
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8642)
+    p_submit.add_argument("--tenant", default="default")
+    p_submit.add_argument("--policy", action="append", choices=POLICY_NAMES)
+    p_submit.add_argument("--category", action="append")
+    p_submit.add_argument("--scale", choices=sorted(SCALES), default=None)
+    p_submit.add_argument("--iq-entries", type=int, default=32)
+    p_submit.add_argument("--regs", type=int, default=None)
+    p_submit.add_argument("--unbounded-regs", action="store_true")
+    p_submit.add_argument("--unbounded-rob", action="store_true")
+    p_submit.add_argument(
+        "--index", type=int, default=0, help="run kind: workload index"
+    )
+    p_submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="print NDJSON progress events while waiting",
+    )
+    p_submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the accepted job document and exit immediately",
+    )
+    p_submit.add_argument(
+        "--timeout",
+        type=float,
+        default=3600.0,
+        help="seconds to wait for completion (default 3600)",
+    )
     return parser
+
+
+def _tenants_arg(value: str) -> dict[str, float]:
+    from repro.service.scheduler import parse_tenants
+
+    try:
+        return parse_tenants(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _rate_arg(value: str) -> float | None:
+    try:
+        rate = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"rate {value!r} is not a number; pass req/s like --rate 20 "
+            "(0 disables rate limiting)"
+        ) from None
+    if rate < 0:
+        raise argparse.ArgumentTypeError(
+            f"rate must be >= 0, got {rate} (0 disables rate limiting)"
+        )
+    return rate or None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.experiments.parallel import resolve_jobs
+    from repro.service.server import Service, ServiceSettings
+
+    settings = ServiceSettings(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        slots=resolve_jobs(args.jobs),
+        tenants=args.tenants or {},
+        rate=args.rate,
+        burst=args.burst,
+        max_queue=args.queue,
+        executor=args.executor,
+        default_scale=args.scale,
+    )
+    service = Service(settings)
+
+    def _announce(svc: Service) -> None:
+        print(
+            f"[repro] serving on http://{settings.host}:{svc.port} "
+            f"({settings.slots} slots, executor={settings.executor}, "
+            f"cache={settings.cache_dir})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    asyncio.run(service.serve_forever(on_ready=_announce))
+    print("[repro] service stopped; state saved", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    spec: dict = {"iq_entries": args.iq_entries, "index": args.index}
+    if args.scale:
+        spec["scale"] = args.scale
+    if args.policy:
+        spec["policies"] = args.policy
+    if args.category:
+        spec["categories"] = args.category
+    if args.regs is not None:
+        spec["regs"] = args.regs
+    if args.unbounded_regs:
+        spec["unbounded_regs"] = True
+    if args.unbounded_rob:
+        spec["unbounded_rob"] = True
+    if args.kind == "run":
+        if len(spec.get("policies", [])) == 1:
+            spec["policy"] = spec.pop("policies")[0]
+        if len(spec.get("categories", [])) == 1:
+            spec["category"] = spec.pop("categories")[0]
+    else:
+        spec.pop("index", None)
+
+    client = ServiceClient(
+        host=args.host, port=args.port, tenant=args.tenant
+    )
+    try:
+        submit = (
+            client.submit_run if args.kind == "run" else client.submit_sweep
+        )
+        job = submit(spec, retries=5)
+        if args.no_wait:
+            print(json.dumps(job, indent=1))
+            return 0
+        if args.stream:
+            for event in client.stream(job["id"], timeout=args.timeout):
+                print(json.dumps(event), file=sys.stderr, flush=True)
+        final = client.wait(job["id"], timeout=args.timeout)
+        print(json.dumps(final, indent=1))
+        return 0
+    except (ServiceError, TimeoutError, ConnectionError, OSError) as exc:
+        print(f"[repro] submit failed: {exc}", file=sys.stderr)
+        return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -225,6 +432,12 @@ def main(argv: list[str] | None = None) -> int:
             save_json(args.out, fig.as_dict())
             print(f"JSON written to {args.out}")
         return 0
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "submit":
+        return _cmd_submit(args)
 
     return 1  # pragma: no cover - argparse enforces choices
 

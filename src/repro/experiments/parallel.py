@@ -413,6 +413,7 @@ def run_items(
     """
     if jobs <= 1:
         return 0
+    runner._check_abort()
     todo: list[WorkItem] = []
     hits = 0
     seen: set[RunKey] = set()
@@ -438,6 +439,17 @@ def run_items(
     inflight: dict = {}
     timings: list[dict] = []
     executed = 0
+    aborted = False
+    runner._notify(
+        {
+            "event": "sweep_start",
+            "label": label,
+            "total": len(todo) + hits,
+            "hits": hits,
+            "to_run": len(todo),
+            "jobs": min(jobs, len(todo)),
+        }
+    )
 
     def _submit_next() -> None:
         item = queue.popleft()
@@ -474,7 +486,27 @@ def run_items(
                     }
                 )
                 progress.tick(key)
-                if queue:
+                runner._notify(
+                    {
+                        "event": "item",
+                        "label": label,
+                        "scale": key.scale,
+                        "policy": key.policy,
+                        "workload": key.workload,
+                        "cached": False,
+                        "elapsed_s": round(seconds, 6),
+                        "worker_pid": worker_pid,
+                        "done": progress.done,
+                        "to_run": progress.to_run,
+                        "hits": hits,
+                    }
+                )
+                if not aborted and runner.abort_cb is not None:
+                    try:
+                        aborted = bool(runner.abort_cb())
+                    except Exception:  # noqa: BLE001 - treat a broken
+                        aborted = True  # callback as an abort request
+                if queue and not aborted:
                     _submit_next()
     except BrokenProcessPool:
         shutdown()  # reset so the next call gets a healthy pool
@@ -488,12 +520,33 @@ def run_items(
         progress.close()
         model.save()
         runner.sweep_log.extend(timings)
-        _append_sweep_trace(runner, timings)
+        append_sweep_trace(runner, timings)
+        runner._notify(
+            {
+                "event": "sweep_end",
+                "label": label,
+                "executed": executed,
+                "hits": hits,
+                "aborted": aborted,
+            }
+        )
+    if aborted:
+        from repro.experiments.runner import SweepAborted
+
+        raise SweepAborted(
+            f"sweep {label!r} aborted after {executed} of {len(todo)} "
+            "simulations; completed work is cached and journaled"
+        )
     return executed
 
 
-def _append_sweep_trace(runner: "ExperimentRunner", timings: list[dict]) -> None:
-    """Persist scheduling records next to the cache (best-effort)."""
+def append_sweep_trace(runner: "ExperimentRunner", timings: list[dict]) -> None:
+    """Persist scheduling records next to the cache (best-effort).
+
+    Shared by :func:`run_items` and the service layer's item dispatcher,
+    so every executed simulation — whoever launched it — lands in the
+    same ``<cache_dir>/sweep_trace.jsonl`` with the same record shape.
+    """
     if not timings or runner.cache_dir is None:
         return
     try:

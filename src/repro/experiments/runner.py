@@ -36,7 +36,7 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.config import ProcessorConfig, baseline_config
 from repro.core.backends import resolve_backend
@@ -44,6 +44,15 @@ from repro.core.simulator import SimResult, run_simulation
 from repro.telemetry import Telemetry, TelemetryConfig, export_all, exports_complete
 from repro.trace.trace import Trace
 from repro.trace.workloads import Workload, WorkloadPool, build_pool
+
+
+class SweepAborted(RuntimeError):
+    """Raised when a runner's ``abort_cb`` asked for cancellation.
+
+    The runner stops launching new simulations; everything already
+    completed is cached and journaled, so a later run (or ``--resume``)
+    picks up exactly where the abort left off.
+    """
 
 
 @dataclass(frozen=True)
@@ -148,6 +157,8 @@ class ExperimentRunner:
         fast_forward: bool | None = None,
         resume: bool = False,
         backend: str | None = None,
+        progress_cb: Callable[[dict[str, Any]], None] | None = None,
+        abort_cb: Callable[[], bool] | None = None,
     ) -> None:
         if scale is None:
             scale = scale_from_env()
@@ -207,6 +218,45 @@ class ExperimentRunner:
         #: scheduling/timing records appended by the parallel engine
         #: (one dict per executed item; see repro.experiments.parallel)
         self.sweep_log: list[dict[str, Any]] = []
+        # Programmatic progress/cancel hooks.  The stderr progress line
+        # (repro.experiments.parallel._Progress) stays the default consumer;
+        # progress_cb additionally receives one dict per completed
+        # simulation ("run"/"item" events) and sweep start/end markers —
+        # the service layer streams these to HTTP clients.  abort_cb is
+        # polled before each new simulation; returning True raises
+        # SweepAborted instead of launching more work.
+        self.progress_cb = progress_cb
+        self.abort_cb = abort_cb
+
+    # -- progress / cancellation hooks ---------------------------------------
+
+    def _notify(self, event: dict[str, Any]) -> None:
+        """Deliver a progress event to ``progress_cb`` (never raises)."""
+        cb = self.progress_cb
+        if cb is None:
+            return
+        try:
+            cb(event)
+        except Exception:  # noqa: BLE001 - a bad consumer must not kill a sweep
+            pass
+
+    def _notify_run(self, key: RunKey, cached: bool) -> None:
+        self._notify(
+            {
+                "event": "run",
+                "scale": key.scale,
+                "policy": key.policy,
+                "workload": key.workload,
+                "stop": key.stop,
+                "cached": cached,
+            }
+        )
+
+    def _check_abort(self) -> None:
+        """Raise :class:`SweepAborted` if the abort callback asks for it."""
+        cb = self.abort_cb
+        if cb is not None and cb():
+            raise SweepAborted("abort requested by abort_cb")
 
     # -- pool ---------------------------------------------------------------
 
@@ -385,7 +435,9 @@ class ExperimentRunner:
             or exports_complete(teldir)
         ):
             self._mark_complete(key)
+            self._notify_run(key, cached=True)
             return cached
+        self._check_abort()
         res = run_simulation(
             config,
             self._make_policy(policy),
@@ -405,6 +457,7 @@ class ExperimentRunner:
         self._cache_put(key, rec)
         self._mark_complete(key)
         self.sims_run += 1
+        self._notify_run(key, cached=False)
         return rec
 
     def run_single(self, config: ProcessorConfig, trace: Trace) -> RunRecord:
@@ -418,7 +471,9 @@ class ExperimentRunner:
             or exports_complete(teldir)
         ):
             self._mark_complete(key)
+            self._notify_run(key, cached=True)
             return cached
+        self._check_abort()
         res = run_simulation(
             config.with_threads(1),
             "icount",
@@ -438,6 +493,7 @@ class ExperimentRunner:
         self._cache_put(key, rec)
         self._mark_complete(key)
         self.sims_run += 1
+        self._notify_run(key, cached=False)
         return rec
 
     # -- sweeps ---------------------------------------------------------------

@@ -1,0 +1,233 @@
+"""Thin blocking HTTP client for the simulation service.
+
+Built on :mod:`http.client` (stdlib only, like the server), one fresh
+connection per call to match the server's ``Connection: close``
+discipline.  This is the path the CLI ``repro-sim submit`` command, the
+load benchmark and the integration tests all share, so client-side
+behaviour (429 backoff, result polling, NDJSON streaming) is exercised
+everywhere the service is.
+
+Non-2xx responses raise :class:`ServiceError` carrying the HTTP status
+and the server's ``retry_after`` hint when present; :meth:`submit_run`
+and :meth:`submit_sweep` can optionally absorb 429s by sleeping and
+retrying (``retries=``), which is what a polite tenant does.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Callable, Iterator, Mapping
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Blocking client for one service endpoint, attributed to one tenant."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        tenant: str = "default",
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Mapping[str, Any] | None = None,
+        timeout: float | None = None,
+    ) -> Any:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            conn.request(
+                method,
+                path,
+                body=payload,
+                headers={
+                    "X-Tenant": self.tenant,
+                    **(
+                        {"Content-Type": "application/json"}
+                        if payload is not None
+                        else {}
+                    ),
+                },
+            )
+            resp = conn.getresponse()
+            raw = resp.read()
+            doc = self._decode(raw)
+            if resp.status >= 400:
+                retry_after = None
+                if isinstance(doc, dict) and "retry_after" in doc:
+                    retry_after = float(doc["retry_after"])
+                elif resp.getheader("Retry-After"):
+                    retry_after = float(resp.getheader("Retry-After"))
+                message = (
+                    doc.get("error", raw.decode(errors="replace"))
+                    if isinstance(doc, dict)
+                    else raw.decode(errors="replace")
+                )
+                raise ServiceError(resp.status, message, retry_after)
+            return doc
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _decode(raw: bytes) -> Any:
+        if not raw:
+            return None
+        try:
+            return json.loads(raw)
+        except ValueError:
+            return raw.decode(errors="replace")
+
+    # -- submission -----------------------------------------------------------
+
+    def _submit(
+        self, path: str, spec: Mapping[str, Any], retries: int
+    ) -> dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", path, body=spec)
+            except ServiceError as exc:
+                if exc.status != 429 or attempt >= retries:
+                    raise
+                attempt += 1
+                time.sleep(max(exc.retry_after or 0.1, 0.05))
+
+    def submit_run(
+        self, spec: Mapping[str, Any], retries: int = 0
+    ) -> dict[str, Any]:
+        """POST /v1/runs; returns the accepted job document (202)."""
+        return self._submit("/v1/runs", spec, retries)
+
+    def submit_sweep(
+        self, spec: Mapping[str, Any], retries: int = 0
+    ) -> dict[str, Any]:
+        """POST /v1/sweeps; returns the accepted job document (202)."""
+        return self._submit("/v1/sweeps", spec, retries)
+
+    # -- status / results -----------------------------------------------------
+
+    def job(self, job_id: str, result: bool = True) -> dict[str, Any]:
+        suffix = "" if result else "?result=0"
+        return self._request("GET", f"/v1/jobs/{job_id}{suffix}")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll: float = 0.05,
+        on_poll: Callable[[dict[str, Any]], None] | None = None,
+    ) -> dict[str, Any]:
+        """Poll until the job is terminal; returns the final document.
+
+        Raises :class:`TimeoutError` if the deadline passes and
+        :class:`ServiceError` if the job ends ``failed``/``cancelled``.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if on_poll is not None:
+                on_poll(doc)
+            state = doc.get("state")
+            if state == "done":
+                return doc
+            if state in ("failed", "cancelled"):
+                raise ServiceError(
+                    500, f"job {job_id} {state}: {doc.get('error', '')}"
+                )
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def wait_ready(self, timeout: float = 30.0, poll: float = 0.05) -> None:
+        """Block until /healthz answers (server warming up)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.health()
+                return
+            except (OSError, ServiceError):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"service at {self.host}:{self.port} not ready "
+                        f"after {timeout}s"
+                    ) from None
+                time.sleep(poll)
+
+    # -- streaming ------------------------------------------------------------
+
+    def stream(
+        self, job_id: str, timeout: float = 600.0
+    ) -> Iterator[dict[str, Any]]:
+        """Yield NDJSON progress events until the job's terminal event.
+
+        The connection stays open for the life of the stream; ``timeout``
+        bounds each read (the server pings every 15s, so a healthy
+        stream never starves a generous timeout).
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            conn.request(
+                "GET",
+                f"/v1/jobs/{job_id}/events",
+                headers={"X-Tenant": self.tenant},
+            )
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                raw = resp.read()
+                doc = self._decode(raw)
+                message = (
+                    doc.get("error", "") if isinstance(doc, dict) else str(doc)
+                )
+                raise ServiceError(resp.status, message)
+            # http.client undoes the chunked framing; readline gives us
+            # exactly the NDJSON lines the server wrote.
+            while True:
+                line = resp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()

@@ -1,0 +1,221 @@
+"""Job lifecycle, content-keyed coalescing and progress pub/sub.
+
+A :class:`Job` is one client request moving through the service:
+``accepted`` (items still being built) → ``queued`` → ``running`` →
+``done`` / ``failed`` / ``cancelled``.  Progress is published as an
+append-only event list with fan-out to any number of ``asyncio.Queue``
+subscribers (the NDJSON streaming endpoint replays history, then
+follows live).
+
+**Dedup at the job level**: when a request's content key matches a
+non-terminal job, the new job becomes a *follower* of that primary — it
+gets its own id and tenant attribution but shares the primary's
+execution verbatim: progress numbers, events and the final result all
+come from the primary, and the follower consumes no scheduler queue
+slot and no pool work.  (Item-level coalescing of partially-overlapping
+jobs lives in the server's dispatcher; this module only models whole-job
+coalescing.)
+
+Everything here is event-loop-thread confined; no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import secrets
+import time
+from typing import TYPE_CHECKING, Any, Callable, Deque
+
+from repro.service.spec import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.parallel import WorkItem
+
+#: Terminal states; a terminal job never changes again.
+TERMINAL = frozenset({"done", "failed", "cancelled"})
+
+#: Events kept for replay on late stream subscriptions.
+EVENT_HISTORY = 1024
+
+
+class Job:
+    """One submitted request and its progress through the service."""
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        tenant: str,
+        job_id: str | None = None,
+        resumed: bool = False,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.id = job_id or f"j{secrets.token_hex(6)}"
+        self.spec = spec
+        self.tenant = tenant
+        self.content_key = spec.content_key()
+        self.state = "accepted"
+        self.created = clock()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.error: str | None = None
+        self.result: dict[str, Any] | None = None
+        self.resumed = resumed
+        # execution bookkeeping (owned by the server's dispatcher)
+        self.total: int | None = None
+        self.done_items = 0
+        self.hits = 0       # satisfied straight from the result cache
+        self.executed = 0   # simulations this job itself ran on the pool
+        self.shared = 0     # items coalesced onto another job's in-flight run
+        self.pending: Deque["WorkItem"] | None = None
+        #: (policy, category, name, RunKey) per item, for result assembly
+        self.item_index: list[tuple[str, str, str, Any]] = []
+        # job-level dedup links
+        self.primary: "Job | None" = None
+        self.followers: list["Job"] = []
+        # progress pub/sub
+        self.events: list[dict[str, Any]] = []
+        self._subs: list[asyncio.Queue] = []
+        self._clock = clock
+
+    # -- dedup ----------------------------------------------------------------
+
+    @property
+    def deduped(self) -> bool:
+        return self.primary is not None
+
+    def attach_follower(self, follower: "Job") -> None:
+        """Coalesce ``follower`` onto this job's execution."""
+        follower.primary = self
+        self.followers.append(follower)
+
+    # -- progress pub/sub -----------------------------------------------------
+
+    def publish(self, event: dict[str, Any]) -> None:
+        """Record an event and fan it out to live subscribers."""
+        event = {"t": round(self._clock(), 3), "job": self.id, **event}
+        self.events.append(event)
+        if len(self.events) > EVENT_HISTORY:
+            del self.events[: len(self.events) - EVENT_HISTORY]
+        for queue in list(self._subs):
+            queue.put_nowait(event)
+
+    def subscribe(self) -> asyncio.Queue:
+        """A queue preloaded with history that then receives live events."""
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in self.events:
+            queue.put_nowait(event)
+        self._subs.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        try:
+            self._subs.remove(queue)
+        except ValueError:
+            pass
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def finish(
+        self,
+        state: str,
+        result: dict[str, Any] | None = None,
+        error: str | None = None,
+    ) -> None:
+        """Enter a terminal state and mirror it onto every follower."""
+        assert state in TERMINAL, state
+        if self.state in TERMINAL:
+            return
+        self.state = state
+        self.result = result
+        self.error = error
+        self.finished = self._clock()
+        self.publish(
+            {
+                "event": state,
+                "executed": self.executed,
+                "hits": self.hits,
+                "shared": self.shared,
+                **({"error": error} if error else {}),
+            }
+        )
+        for follower in self.followers:
+            if follower.state not in TERMINAL:
+                follower.state = state
+                follower.result = result
+                follower.error = error
+                follower.finished = follower._clock()
+
+    # -- wire format ----------------------------------------------------------
+
+    def to_json(self, include_result: bool = True) -> dict[str, Any]:
+        """The job document ``GET /v1/jobs/<id>`` returns.
+
+        A follower reports its own identity (id, tenant, timestamps) but
+        the primary's progress and result — they are one execution.
+        """
+        source = self.primary or self
+        state = self.state if self.state in TERMINAL else source.state
+        doc: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "tenant": self.tenant,
+            "state": state,
+            "content_key": self.content_key,
+            "deduped": self.deduped,
+            "resumed": self.resumed,
+            "created": round(self.created, 3),
+            "started": (
+                round(source.started, 3) if source.started else None
+            ),
+            "finished": (
+                round(self.finished, 3) if self.finished else None
+            ),
+            "total": source.total,
+            "done": source.done_items,
+            "hits": source.hits,
+            "executed": source.executed,
+            "shared": source.shared,
+            "spec": self.spec.to_json(),
+        }
+        if self.primary is not None:
+            doc["primary"] = self.primary.id
+        if self.error or source.error:
+            doc["error"] = self.error or source.error
+        result = self.result if self.result is not None else source.result
+        if include_result and state == "done" and result is not None:
+            doc["result"] = result
+        return doc
+
+
+class JobStore:
+    """All jobs by id, plus the content-key index used for coalescing."""
+
+    def __init__(self) -> None:
+        self.jobs: dict[str, Job] = {}
+        self._active_by_key: dict[str, Job] = {}
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def add(self, job: Job) -> None:
+        self.jobs[job.id] = job
+        if not job.deduped:
+            self._active_by_key[job.content_key] = job
+
+    def get(self, job_id: str) -> Job | None:
+        return self.jobs.get(job_id)
+
+    def active_for_key(self, content_key: str) -> Job | None:
+        """The non-terminal primary job for this key, if any."""
+        job = self._active_by_key.get(content_key)
+        if job is None:
+            return None
+        if job.state in TERMINAL:
+            del self._active_by_key[content_key]
+            return None
+        return job
+
+    def on_terminal(self, job: Job) -> None:
+        """Drop a finished primary from the coalescing index."""
+        if self._active_by_key.get(job.content_key) is job:
+            del self._active_by_key[job.content_key]

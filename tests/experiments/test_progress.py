@@ -1,0 +1,119 @@
+"""Programmatic progress-callback and abort-hook tests.
+
+The contract (see ``ExperimentRunner.progress_cb``/``abort_cb``): the
+serial path emits one ``run`` event per simulation (with a ``cached``
+flag), the parallel engine additionally brackets execution with
+``sweep_start``/``sweep_end`` and emits ``item`` events per executed
+simulation, and a truthy ``abort_cb`` stops the sweep with
+:class:`SweepAborted` while keeping all completed work cached.
+"""
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.runner import (
+    ExperimentRunner,
+    SweepAborted,
+    figure2_config,
+)
+from repro.trace.workloads import build_pool
+
+POOL_KW = dict(
+    n_uops=2500, n_ilp=1, n_mem=1, n_mix=0, n_mixes_category=0,
+    categories=("ISPEC00",),
+)
+POLICIES = ["icount", "cssp"]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return build_pool(**POOL_KW)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pool():
+    yield
+    parallel.shutdown()
+
+
+def test_serial_progress_events(pool):
+    events = []
+    runner = ExperimentRunner("smoke", pool=pool, progress_cb=events.append)
+    results = runner.sweep(figure2_config(32), POLICIES)
+
+    runs = [e for e in events if e["event"] == "run"]
+    assert len(runs) == len(results) == 4
+    assert all(e["cached"] is False for e in runs)
+    assert {(e["policy"], e["workload"]) for e in runs} == {
+        (policy, f"{wl.category}/{wl.name}")
+        for policy in POLICIES
+        for wl in pool
+    }
+
+    events.clear()
+    runner.sweep(figure2_config(32), POLICIES)  # warm in-memory cache
+    assert [e["cached"] for e in events if e["event"] == "run"] == [True] * 4
+
+
+def test_broken_progress_cb_never_fails_the_run(pool):
+    def explode(event):
+        raise RuntimeError("observer crashed")
+
+    runner = ExperimentRunner("smoke", pool=pool, progress_cb=explode)
+    assert len(runner.sweep(figure2_config(32), ["icount"])) == 2
+
+
+def test_serial_abort_before_any_work(pool):
+    runner = ExperimentRunner("smoke", pool=pool, abort_cb=lambda: True)
+    with pytest.raises(SweepAborted):
+        runner.sweep(figure2_config(32), POLICIES)
+    assert runner.sims_run == 0
+
+
+def test_parallel_progress_events(pool):
+    events = []
+    runner = ExperimentRunner(
+        "smoke", pool=pool, jobs=2, progress_cb=events.append
+    )
+    runner.sweep(figure2_config(24), POLICIES)
+
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "sweep_start"
+    assert "sweep_end" in kinds
+    start = events[0]
+    assert start["total"] == 4 and start["to_run"] == 4
+    items = [e for e in events if e["event"] == "item"]
+    assert len(items) == 4
+    assert all(e["cached"] is False and e["worker_pid"] for e in items)
+    end = events[kinds.index("sweep_end")]
+    assert end["executed"] == 4 and end["aborted"] is False
+    # the serial assembly pass after the prefetch sees only cache hits
+    assert all(
+        e["cached"] for e in events if e["event"] == "run"
+    )
+
+
+def test_parallel_abort_mid_sweep(pool):
+    events = []
+    state = {"abort": False}
+
+    def on_event(event):
+        events.append(event)
+        if event["event"] == "item":
+            state["abort"] = True
+
+    runner = ExperimentRunner(
+        "smoke", pool=pool, jobs=2,
+        progress_cb=on_event, abort_cb=lambda: state["abort"],
+    )
+    with pytest.raises(SweepAborted):
+        runner.sweep(figure2_config(20), POLICIES)
+    executed = sum(1 for e in events if e["event"] == "item")
+    assert 1 <= executed < 4  # stopped early, completed work kept
+    assert runner.sims_run == executed
+
+    # completed items are cached: a clean rerun executes only the rest
+    fresh = ExperimentRunner("smoke", pool=pool, jobs=2)
+    fresh._memory.update(runner._memory)
+    fresh.sweep(figure2_config(20), POLICIES)
+    assert fresh.sims_run == 4 - executed

@@ -1,0 +1,192 @@
+"""Token-bucket, admission and weighted max-min scheduling tests.
+
+Everything runs against an injected fake clock, so rate-limit and
+fairness behaviour is deterministic — no sleeps, no wall-clock."""
+
+import pytest
+
+from repro.service.scheduler import (
+    FairScheduler,
+    QueueFull,
+    RateLimited,
+    TokenBucket,
+    parse_tenants,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+# -- parse_tenants -----------------------------------------------------------
+
+
+def test_parse_tenants():
+    assert parse_tenants("alice:3,bob:1") == {"alice": 3.0, "bob": 1.0}
+    assert parse_tenants("alice") == {"alice": 1.0}
+    assert parse_tenants("a:0.5, b") == {"a": 0.5, "b": 1.0}
+
+
+@pytest.mark.parametrize(
+    "value", ["", "  ", ":3", "a:x", "a:0", "a:-1", "a,a"]
+)
+def test_parse_tenants_rejects_malformed(value):
+    with pytest.raises(ValueError):
+        parse_tenants(value)
+
+
+# -- token bucket ------------------------------------------------------------
+
+
+def test_token_bucket_burst_then_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    wait = bucket.try_acquire()
+    assert wait == pytest.approx(0.5)  # 1 token at 2 tokens/s
+    clock.advance(0.5)
+    assert bucket.try_acquire() == 0.0
+    # refill never exceeds burst capacity
+    clock.advance(100.0)
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() > 0.0
+
+
+def test_token_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.5)
+
+
+# -- admission ---------------------------------------------------------------
+
+
+def test_rate_limited_admission():
+    clock = FakeClock()
+    sched = FairScheduler({"a": 1.0}, rate=1.0, burst=1.0, clock=clock)
+    sched.admit("a", "job1")
+    with pytest.raises(RateLimited) as exc:
+        sched.admit("a", "job2")
+    assert exc.value.tenant == "a"
+    assert exc.value.retry_after == pytest.approx(1.0)
+    clock.advance(1.0)
+    sched.admit("a", "job2")  # tokens refilled
+    # limited=False (restart recovery) bypasses the bucket entirely
+    sched.admit("a", "job3", limited=False)
+    assert sched.tenants["a"].rejected == 1
+
+
+def test_queue_bound():
+    sched = FairScheduler({"a": 1.0}, rate=None, max_queue=2)
+    sched.admit("a", "j1")
+    sched.admit("a", "j2")
+    with pytest.raises(QueueFull):
+        sched.admit("a", "j3")
+    # recovery bypasses the rate limit but never the queue bound
+    with pytest.raises(QueueFull):
+        sched.admit("a", "j3", limited=False)
+
+
+def test_unknown_tenants_auto_register_at_weight_one():
+    sched = FairScheduler(rate=None)
+    sched.admit("walkin", "j")
+    assert sched.tenants["walkin"].weight == 1.0
+
+
+# -- weighted max-min slot scheduling ----------------------------------------
+
+
+def fill_slots(sched, slots):
+    """Dispatch until the pool is full; returns per-tenant slot counts."""
+    for _ in range(slots):
+        tenant = sched.pick()
+        assert tenant is not None
+        sched.on_dispatch(tenant)
+    return {name: s.in_use for name, s in sched.tenants.items()}
+
+
+def test_saturated_shares_match_weights():
+    sched = FairScheduler({"gold": 3.0, "silver": 1.0}, rate=None)
+    for i in range(40):
+        sched.admit("gold", f"g{i}")
+        sched.admit("silver", f"s{i}")
+    assert fill_slots(sched, 4) == {"gold": 3, "silver": 1}
+
+
+def test_equal_weights_round_robin():
+    sched = FairScheduler({"a": 1.0, "b": 1.0}, rate=None)
+    for i in range(10):
+        sched.admit("a", f"a{i}")
+        sched.admit("b", f"b{i}")
+    assert fill_slots(sched, 4) == {"a": 2, "b": 2}
+
+
+def test_idle_capacity_redistributes():
+    """A lone backlogged tenant takes the whole pool (work conservation)."""
+    sched = FairScheduler({"gold": 3.0, "silver": 1.0}, rate=None)
+    for i in range(10):
+        sched.admit("silver", f"s{i}")
+    assert fill_slots(sched, 4) == {"gold": 0, "silver": 4}
+
+
+def test_share_rebalances_after_completions():
+    sched = FairScheduler({"gold": 3.0, "silver": 1.0}, rate=None)
+    for i in range(40):
+        sched.admit("gold", f"g{i}")
+        sched.admit("silver", f"s{i}")
+    fill_slots(sched, 4)
+    # a gold slot frees; gold is still the most under-served -> gold again
+    sched.on_complete(sched.tenants["gold"], elapsed=1.0)
+    assert sched.pick() is sched.tenants["gold"]
+    # a silver slot frees with gold at its share -> silver gets it back
+    sched.on_dispatch(sched.tenants["gold"])
+    sched.on_complete(sched.tenants["silver"], elapsed=1.0)
+    assert sched.pick() is sched.tenants["silver"]
+
+
+def test_vtime_breaks_ties_toward_less_served():
+    sched = FairScheduler({"a": 1.0, "b": 1.0}, rate=None)
+    sched.admit("a", "a0")
+    sched.admit("b", "b0")
+    sched.tenants["a"].vtime = 5.0  # a has consumed more service time
+    assert sched.pick() is sched.tenants["b"]
+
+
+def test_pick_honors_ready_filter():
+    sched = FairScheduler({"a": 1.0, "b": 1.0}, rate=None)
+    sched.admit("a", {"ready": False})
+    sched.admit("b", {"ready": True})
+    picked = sched.pick(ready=lambda p: p["ready"])
+    assert picked is sched.tenants["b"]
+    assert sched.pick(ready=lambda p: False) is None
+
+
+def test_remove_and_queue_ops():
+    sched = FairScheduler({"a": 1.0}, rate=None)
+    sched.admit("a", "j1")
+    sched.admit("a", "j2")
+    state = sched.tenants["a"]
+    assert sched.head(state) == "j1"
+    assert sched.remove(state, "j2")
+    assert not sched.remove(state, "j2")
+    assert sched.pop_head(state) == "j1"
+    assert sched.pick() is None
+
+
+def test_snapshot_shape():
+    sched = FairScheduler({"a": 2.0}, rate=5.0)
+    sched.admit("a", "j")
+    snap = sched.snapshot()
+    assert snap["queued_jobs"] == 1
+    assert snap["tenants"]["a"]["weight"] == 2.0
+    assert snap["tenants"]["a"]["admitted"] == 1

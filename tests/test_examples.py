@@ -26,6 +26,7 @@ def test_examples_exist():
         "fairness_analysis.py",
         "custom_workload.py",
         "cdprf_timeline.py",
+        "service_client.py",
     } <= names
 
 
@@ -57,3 +58,11 @@ def test_cdprf_timeline_runs(capsys, tmp_path):
     assert "Integer-register partition over time" in out
     assert (tmp_path / "trace.json").is_file()
     assert (tmp_path / "samples.csv").is_file()
+
+
+@pytest.mark.slow
+def test_service_client_runs(capsys):
+    _run_example("service_client.py")
+    out = capsys.readouterr().out
+    assert "deduped=True" in out
+    assert "records identical for both tenants: True" in out
