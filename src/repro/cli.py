@@ -7,6 +7,9 @@ Subcommands:
 * ``run``     — simulate one workload under one policy and dump statistics;
 * ``figure``  — regenerate one of the paper's figures (2, 3, 4, 5, 6, 9,
   10, ``headline`` or ``table2``) and print the table;
+* ``sweep``   — run an ad-hoc (policy × workload) sweep, locally or
+  distributed over TCP workers (``--executor tcp``);
+* ``worker``  — join a ``--executor tcp`` sweep as a remote worker;
 * ``serve``   — run the simulation service (HTTP/JSON API over the
   worker pool with fair multi-tenant scheduling and request dedup);
 * ``submit``  — submit a run or sweep to a running service and wait for
@@ -137,6 +140,82 @@ def _build_parser() -> argparse.ArgumentParser:
         "REPRO_BACKEND or the built-in default); results and cache "
         "entries are bit-identical across backends",
     )
+    _add_executor_args(p_fig)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a (policy x workload) sweep, locally or over TCP workers",
+    )
+    p_sweep.add_argument(
+        "--policy",
+        action="append",
+        choices=POLICY_NAMES,
+        help="policy to sweep (repeatable; default: all policies)",
+    )
+    p_sweep.add_argument(
+        "--category",
+        action="append",
+        help="workload category to sweep (repeatable; default: all)",
+    )
+    p_sweep.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    p_sweep.add_argument("--iq-entries", type=int, default=32)
+    p_sweep.add_argument("--regs", type=int, default=None)
+    p_sweep.add_argument("--unbounded-regs", action="store_true")
+    p_sweep.add_argument("--unbounded-rob", action="store_true")
+    p_sweep.add_argument("--cache-dir", default=".repro-cache")
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="local worker processes (default: REPRO_JOBS or all cores); "
+        "ignored with --executor tcp",
+    )
+    p_sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="trust the sweep journal in --cache-dir and re-run only the "
+        "simulations it does not list as complete",
+    )
+    p_sweep.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="cycle engine for every simulation (default: REPRO_BACKEND "
+        "or the built-in default)",
+    )
+    p_sweep.add_argument("--out", help="also write the result as JSON here")
+    _add_executor_args(p_sweep)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a running --executor tcp sweep as a remote worker",
+    )
+    p_worker.add_argument(
+        "--connect",
+        type=_endpoint_arg,
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator endpoint printed by the sweep's announce line",
+    )
+    p_worker.add_argument(
+        "--window",
+        type=int,
+        default=2,
+        help="simulations to hold leased at once (default 2: one running, "
+        "one prefetched)",
+    )
+    p_worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=5.0,
+        help="seconds between keepalive frames (default 5)",
+    )
+    p_worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to keep retrying the initial connect (default 30)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -239,6 +318,61 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    """The sweep-executor flags shared by ``figure`` and ``sweep``."""
+    parser.add_argument(
+        "--executor",
+        choices=("local", "tcp"),
+        default=None,
+        help="where cache misses run: the local process pool (default, "
+        "or REPRO_EXECUTOR) or remote TCP workers started with "
+        "'repro-sim worker --connect HOST:PORT'",
+    )
+    parser.add_argument(
+        "--bind",
+        type=_endpoint_arg,
+        default=("127.0.0.1", 0),
+        metavar="HOST:PORT",
+        help="tcp executor: coordinator listen endpoint (default "
+        "127.0.0.1:0 = loopback, free port; the chosen port is "
+        "announced on stderr)",
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="tcp executor: seconds of worker silence before its leased "
+        "items are re-queued (default 30)",
+    )
+
+
+def _endpoint_arg(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"endpoint {value!r} is not HOST:PORT"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"port in {value!r} is not an integer"
+        ) from None
+
+
+def _fabric_settings(args: argparse.Namespace):
+    """FabricSettings from --bind/--lease-timeout, or None for local."""
+    from repro.fabric import FabricSettings, resolve_executor
+
+    if resolve_executor(args.executor) != "tcp":
+        return None
+    host, port = args.bind
+    return FabricSettings(
+        host=host, port=port, lease_timeout=args.lease_timeout
+    )
+
+
 def _tenants_arg(value: str) -> dict[str, float]:
     from repro.service.scheduler import parse_tenants
 
@@ -261,6 +395,90 @@ def _rate_arg(value: str) -> float | None:
             f"rate must be >= 0, got {rate} (0 disables rate limiting)"
         )
     return rate or None
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import resolve_jobs
+
+    runner = ExperimentRunner(
+        args.scale,
+        cache_dir=args.cache_dir,
+        jobs=resolve_jobs(args.jobs),
+        resume=args.resume,
+        backend=args.backend,
+        executor=args.executor,
+        fabric=_fabric_settings(args),
+    )
+    policies = args.policy or list(POLICY_NAMES)
+    if args.category:
+        workloads = []
+        for category in args.category:
+            group = runner.pool.by_category(category)
+            if not group:
+                print(
+                    f"no workloads in category {category!r}", file=sys.stderr
+                )
+                return 1
+            workloads.extend(group)
+    else:
+        workloads = list(runner.pool)
+    config = baseline_config(
+        unbounded_regs=args.unbounded_regs,
+        unbounded_rob=args.unbounded_rob,
+    ).with_iq_entries(args.iq_entries)
+    if args.regs is not None:
+        config = config.with_regs(args.regs)
+    try:
+        results = runner.sweep(config, policies, workloads, label="sweep")
+    finally:
+        if runner.executor == "tcp":
+            # Tell connected workers to exit instead of leaving them
+            # blocked on a socket that closes only at interpreter exit.
+            from repro import fabric
+
+            fabric.shutdown()
+    rows = sorted(
+        (policy, f"{category}/{name}", rec.ipc)
+        for (policy, category, name), rec in results.items()
+    )
+    width = max(len(wl) for _, wl, _ in rows)
+    for policy, workload, ipc in rows:
+        print(f"{policy:<8} {workload:<{width}} IPC {ipc:.3f}")
+    print(
+        f"\n[{runner.sims_run} simulations run, "
+        f"{runner.cache_hits} cache hits]"
+    )
+    if args.out:
+        save_json(
+            args.out,
+            {
+                "scale": runner.scale.name,
+                "iq_entries": args.iq_entries,
+                "results": [
+                    {
+                        "policy": policy,
+                        "workload": workload,
+                        "ipc": round(ipc, 6),
+                    }
+                    for policy, workload, ipc in rows
+                ],
+            },
+        )
+        print(f"JSON written to {args.out}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.fabric.worker import run_worker
+
+    host, port = args.connect
+    return run_worker(
+        host,
+        port,
+        window=args.window,
+        heartbeat=args.heartbeat,
+        connect_timeout=args.connect_timeout,
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -424,14 +642,28 @@ def main(argv: list[str] | None = None) -> int:
             fast_forward=False if args.no_fast_forward else None,
             resume=args.resume,
             backend=args.backend,
+            executor=args.executor,
+            fabric=_fabric_settings(args),
         )
-        fig = _FIGURES[args.which](runner)
+        try:
+            fig = _FIGURES[args.which](runner)
+        finally:
+            if runner.executor == "tcp":
+                from repro import fabric
+
+                fabric.shutdown()
         print(fig.render())
         print(f"\n[{runner.sims_run} simulations run, {runner.cache_hits} cache hits]")
         if args.out:
             save_json(args.out, fig.as_dict())
             print(f"JSON written to {args.out}")
         return 0
+
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+
+    if args.command == "worker":
+        return _cmd_worker(args)
 
     if args.command == "serve":
         return _cmd_serve(args)

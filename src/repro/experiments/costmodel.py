@@ -221,6 +221,22 @@ class CostModel:
         policy, kind, ff, backend, uops = item_features(item)
         return self.rate(policy, kind, ff, backend) * uops
 
+    def lpt_order(
+        self, items: list["WorkItem"]
+    ) -> tuple[dict[int, float], list["WorkItem"]]:
+        """``(estimates by id(item), items longest-expected-first)``.
+
+        The shared dispatch order of every executor: the local pool's
+        bounded in-flight window and the fabric coordinator's cross-host
+        leases both hand out work from the front of this list, so a
+        remote sweep schedules exactly like a local one.
+        """
+        estimates = {id(item): self.estimate(item) for item in items}
+        ordered = sorted(
+            items, key=lambda it: estimates[id(it)], reverse=True
+        )
+        return estimates, ordered
+
     def observe(self, item: "WorkItem", seconds: float) -> None:
         """Fold one completed item's measured runtime into its bucket."""
         policy, kind, ff, backend, uops = item_features(item)

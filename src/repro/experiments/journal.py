@@ -55,12 +55,18 @@ class SweepJournal:
 
         done: set[RunKey] = set()
         try:
-            text = self.path.read_text()
+            raw = self.path.read_bytes()
         except OSError:
             return done
         fields = {f.name for f in dataclasses.fields(RunKey)}
-        for line in text.splitlines():
-            line = line.strip()
+        for raw_line in raw.splitlines():
+            # Decode per line, tolerantly: a writer killed mid-write can
+            # tear a multibyte sequence (or leave binary garbage), and a
+            # strict whole-file decode would raise UnicodeDecodeError and
+            # crash --resume instead of skipping the one bad line.  A
+            # replacement character makes json.loads fail, which is
+            # exactly the "skip it" path below.
+            line = raw_line.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
             try:

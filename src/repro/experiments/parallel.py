@@ -33,6 +33,12 @@ The engine has four moving parts:
   with ``resume=True`` (CLI ``--resume``) skips journaled keys and
   re-executes only the missing ones.
 
+This module is the **local executor**; :mod:`repro.fabric` generalizes it
+into a pluggable layer whose ``tcp`` executor leases the same
+:class:`WorkItem` units to remote workers over a socket protocol, sharing
+this module's cost model, dedup (:func:`split_items`), worker entry point
+(:func:`_run_item`) and cache/journal merge path.
+
 Scheduling and pooling never affect *what* is computed: workers run the
 same ``run``/``run_single`` entry points the serial path uses, and the
 final sweep assembly reads everything back from the cache, so a parallel
@@ -375,6 +381,29 @@ class _Progress:
             print(file=sys.stderr, flush=True)
 
 
+def split_items(
+    runner: "ExperimentRunner", items: Sequence[WorkItem]
+) -> tuple[list[WorkItem], int]:
+    """Deduplicate ``items`` and split them into (to-run, cache-hit count).
+
+    The shared front half of every executor — local pool and fabric
+    coordinator alike — so "what still needs running" is decided exactly
+    once, by the process that owns the cache and journal.
+    """
+    todo: list[WorkItem] = []
+    hits = 0
+    seen: set["RunKey"] = set()
+    for item in items:
+        if item.key in seen:
+            continue
+        seen.add(item.key)
+        if _is_complete(runner, item):
+            hits += 1
+        else:
+            todo.append(item)
+    return todo, hits
+
+
 def _is_complete(runner: "ExperimentRunner", item: WorkItem) -> bool:
     """Whether ``item`` needs no execution (cache hit, exports present)."""
     from repro.telemetry import exports_complete
@@ -414,23 +443,12 @@ def run_items(
     if jobs <= 1:
         return 0
     runner._check_abort()
-    todo: list[WorkItem] = []
-    hits = 0
-    seen: set[RunKey] = set()
-    for item in items:
-        if item.key in seen:
-            continue
-        seen.add(item.key)
-        if _is_complete(runner, item):
-            hits += 1
-        else:
-            todo.append(item)
+    todo, hits = split_items(runner, items)
     if not todo:
         return 0
 
     model = _get_cost_model()
-    estimates = {id(item): model.estimate(item) for item in todo}
-    todo.sort(key=lambda it: estimates[id(it)], reverse=True)
+    estimates, todo = model.lpt_order(todo)
 
     store = shm.store()
     executor = _get_executor(jobs)

@@ -159,6 +159,8 @@ class ExperimentRunner:
         backend: str | None = None,
         progress_cb: Callable[[dict[str, Any]], None] | None = None,
         abort_cb: Callable[[], bool] | None = None,
+        executor: str | None = None,
+        fabric: "Any | None" = None,
     ) -> None:
         if scale is None:
             scale = scale_from_env()
@@ -227,6 +229,17 @@ class ExperimentRunner:
         # SweepAborted instead of launching more work.
         self.progress_cb = progress_cb
         self.abort_cb = abort_cb
+        # Sweep executor: "local" (the shared process pool; default) or
+        # "tcp" (a repro.fabric coordinator leasing items to remote
+        # workers).  Resolved eagerly — argument > REPRO_EXECUTOR >
+        # local — so an unknown name fails at construction, not
+        # mid-sweep.  ``fabric`` carries the coordinator's
+        # :class:`repro.fabric.FabricSettings` (bind address, lease
+        # timeout) and is ignored by the local executor.
+        from repro.fabric import resolve_executor
+
+        self.executor = resolve_executor(executor)
+        self.fabric = fabric
 
     # -- progress / cancellation hooks ---------------------------------------
 
@@ -521,10 +534,11 @@ class ExperimentRunner:
         policies = list(policies)
         wls = list(workloads) if workloads is not None else list(self.pool)
         n_jobs = self._effective_jobs(jobs)
-        if n_jobs > 1:
+        if n_jobs > 1 or self.executor != "local":
+            from repro import fabric
             from repro.experiments import parallel
 
-            parallel.run_items(
+            fabric.run_items(
                 self,
                 parallel.sweep_items(self, config, policies, wls),
                 n_jobs,
@@ -551,10 +565,11 @@ class ExperimentRunner:
         """
         traces = list(traces)
         n_jobs = self._effective_jobs(jobs)
-        if n_jobs > 1:
+        if n_jobs > 1 or self.executor != "local":
+            from repro import fabric
             from repro.experiments import parallel
 
-            parallel.run_items(
+            fabric.run_items(
                 self,
                 parallel.single_items(self, config, traces),
                 n_jobs,

@@ -35,6 +35,36 @@ class ServiceError(RuntimeError):
         self.retry_after = retry_after
 
 
+def _parse_retry_after(value: Any) -> float | None:
+    """A usable backoff hint, or None.
+
+    ``Retry-After`` is spec-legal as either delta-seconds or an HTTP-date
+    (RFC 9110 §10.2.3), and a proxy in front of the service may rewrite
+    it to the latter.  A hint the client cannot parse must degrade to "no
+    hint" — never to an uncaught ``ValueError`` in place of the
+    :class:`ServiceError` the caller is promised.  Negative deltas (clock
+    skew, zealous proxies) clamp to 0.
+    """
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except (TypeError, ValueError):
+        pass
+    try:
+        from email.utils import parsedate_to_datetime
+
+        target = parsedate_to_datetime(str(value))
+    except (TypeError, ValueError):
+        return None
+    if target.tzinfo is None:
+        return None
+    import datetime
+
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return max(0.0, (target - now).total_seconds())
+
+
 class ServiceClient:
     """Blocking client for one service endpoint, attributed to one tenant."""
 
@@ -83,9 +113,11 @@ class ServiceClient:
             if resp.status >= 400:
                 retry_after = None
                 if isinstance(doc, dict) and "retry_after" in doc:
-                    retry_after = float(doc["retry_after"])
-                elif resp.getheader("Retry-After"):
-                    retry_after = float(resp.getheader("Retry-After"))
+                    retry_after = _parse_retry_after(doc["retry_after"])
+                if retry_after is None:
+                    retry_after = _parse_retry_after(
+                        resp.getheader("Retry-After")
+                    )
                 message = (
                     doc.get("error", raw.decode(errors="replace"))
                     if isinstance(doc, dict)

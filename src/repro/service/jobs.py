@@ -48,15 +48,24 @@ class Job:
         job_id: str | None = None,
         resumed: bool = False,
         clock: Callable[[], float] = time.time,
+        monotonic: Callable[[], float] = time.monotonic,
     ) -> None:
         self.id = job_id or f"j{secrets.token_hex(6)}"
         self.spec = spec
         self.tenant = tenant
         self.content_key = spec.content_key()
         self.state = "accepted"
+        # Two clocks, one per purpose — the same split the scheduler's
+        # token buckets already use.  ``clock`` (wall) feeds only the
+        # *display* timestamps (created/started/finished, event "t"); all
+        # durations (queue wait, run time) derive from ``monotonic``, so
+        # an NTP step or DST change can never corrupt them.
         self.created = clock()
         self.started: float | None = None
         self.finished: float | None = None
+        self._created_m = monotonic()
+        self._started_m: float | None = None
+        self._finished_m: float | None = None
         self.error: str | None = None
         self.result: dict[str, Any] | None = None
         self.resumed = resumed
@@ -76,6 +85,7 @@ class Job:
         self.events: list[dict[str, Any]] = []
         self._subs: list[asyncio.Queue] = []
         self._clock = clock
+        self._monotonic = monotonic
 
     # -- dedup ----------------------------------------------------------------
 
@@ -115,6 +125,25 @@ class Job:
 
     # -- lifecycle ------------------------------------------------------------
 
+    def mark_started(self) -> None:
+        """Stamp the start of execution on both clocks."""
+        self.started = self._clock()
+        self._started_m = self._monotonic()
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        """Seconds from submission to first dispatch (monotonic)."""
+        if self._started_m is None:
+            return None
+        return max(0.0, self._started_m - self._created_m)
+
+    @property
+    def run_s(self) -> float | None:
+        """Seconds from first dispatch to the terminal state (monotonic)."""
+        if self._started_m is None or self._finished_m is None:
+            return None
+        return max(0.0, self._finished_m - self._started_m)
+
     def finish(
         self,
         state: str,
@@ -129,6 +158,7 @@ class Job:
         self.result = result
         self.error = error
         self.finished = self._clock()
+        self._finished_m = self._monotonic()
         self.publish(
             {
                 "event": state,
@@ -144,6 +174,7 @@ class Job:
                 follower.result = result
                 follower.error = error
                 follower.finished = follower._clock()
+                follower._finished_m = follower._monotonic()
 
     # -- wire format ----------------------------------------------------------
 
@@ -169,6 +200,16 @@ class Job:
             ),
             "finished": (
                 round(self.finished, 3) if self.finished else None
+            ),
+            # durations are monotonic-derived (see __init__), never a
+            # subtraction of the wall timestamps above
+            "queue_wait_s": (
+                round(source.queue_wait_s, 3)
+                if source.queue_wait_s is not None
+                else None
+            ),
+            "run_s": (
+                round(source.run_s, 3) if source.run_s is not None else None
             ),
             "total": source.total,
             "done": source.done_items,

@@ -156,7 +156,8 @@ class Service:
         self._runners: dict[str, ExperimentRunner] = {}
         self._inflight: dict["RunKey", _ItemExec] = {}
         self._free = settings.slots
-        self._started_at = time.time()
+        self._started_at = time.time()       # wall, for display only
+        self._started_mono = time.monotonic()  # for the uptime duration
         self._closing = False
         self._server: asyncio.base_events.Server | None = None
         self._dispatch_task: asyncio.Task | None = None
@@ -291,7 +292,7 @@ class Service:
                     continue
                 if job.state == "queued":
                     job.state = "running"
-                    job.started = time.time()
+                    job.mark_started()
                     job.publish({"event": "start", "total": job.total})
                 assert job.pending is not None
                 if not job.pending:
@@ -778,7 +779,8 @@ class Service:
             doc_state = job.to_json(include_result=False)["state"]
             states[doc_state] = states.get(doc_state, 0) + 1
         return {
-            "uptime_s": round(time.time() - self._started_at, 3),
+            "started_at": round(self._started_at, 3),
+            "uptime_s": round(time.monotonic() - self._started_mono, 3),
             "slots": self.settings.slots,
             "free_slots": self._free,
             "executor": self.settings.executor,

@@ -73,6 +73,33 @@ def test_journal_skips_truncated_tail(tmp_path):
     assert loaded == {keys[0]}  # complete line kept, torn line dropped
 
 
+def test_journal_skips_torn_multibyte_tail(tmp_path):
+    """A writer killed mid-write can tear a UTF-8 sequence, not just a JSON
+    line; load() must skip the bad bytes, not raise UnicodeDecodeError."""
+    path = tmp_path / JOURNAL_NAME
+    j = SweepJournal(path)
+    keys = _keys(2)
+    for k in keys:
+        j.mark(k)
+    j.close()
+    with open(path, "ab") as fh:
+        # a final line torn inside a three-byte sequence (€ = e2 82 ac)
+        fh.write('{"scale": "smoke", "workload": "€'.encode()[:-1])
+    loaded = SweepJournal(path).load()  # must not raise
+    assert loaded == set(keys)
+
+
+def test_journal_tolerates_binary_garbage_line(tmp_path):
+    path = tmp_path / JOURNAL_NAME
+    key = _keys(1)[0]
+    j = SweepJournal(path)
+    j.mark(key)
+    j.close()
+    with open(path, "ab") as fh:
+        fh.write(b"\xff\xfe\x00\x80 not utf-8 at all\n")
+    assert SweepJournal(path).load() == {key}
+
+
 def test_journal_skips_foreign_garbage(tmp_path):
     path = tmp_path / JOURNAL_NAME
     key = _keys(1)[0]

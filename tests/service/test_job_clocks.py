@@ -1,0 +1,90 @@
+"""Job duration discipline: wall timestamps for display, monotonic for math.
+
+An NTP step (or DST adjustment) moves ``time.time`` arbitrarily, so any
+duration computed from wall timestamps can come out negative or wildly
+wrong.  :class:`Job` therefore stamps both clocks and derives
+``queue_wait_s``/``run_s`` exclusively from the injected monotonic clock
+— these tests drive both clocks by hand, including a wall clock that
+steps *backward* mid-job.
+"""
+
+from __future__ import annotations
+
+from repro.service.jobs import Job
+from repro.service.spec import JobSpec
+
+
+def _spec():
+    return JobSpec.from_json(
+        "run", {"policy": "icount", "category": "ISPEC00", "scale": "smoke"}
+    )
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+def _job(wall, mono):
+    return Job(_spec(), tenant="t", clock=wall, monotonic=mono)
+
+
+def test_durations_come_from_monotonic_not_wall():
+    wall, mono = FakeClock(1_700_000_000.0), FakeClock(100.0)
+    job = _job(wall, mono)
+
+    wall.t -= 3600.0  # NTP step: wall jumps an hour into the past
+    mono.t += 2.0
+    job.mark_started()
+
+    wall.t += 7200.0  # and forward two hours
+    mono.t += 5.0
+    job.finish("done", result={})
+
+    assert job.queue_wait_s == 2.0
+    assert job.run_s == 5.0
+    # the wall timestamps still reflect what the fake wall clock said
+    assert job.started == 1_700_000_000.0 - 3600.0
+    assert job.finished == job.started + 7200.0
+
+
+def test_durations_none_until_the_phase_happened():
+    job = _job(FakeClock(), FakeClock())
+    assert job.queue_wait_s is None
+    assert job.run_s is None
+    job.mark_started()
+    assert job.queue_wait_s == 0.0
+    assert job.run_s is None
+
+
+def test_to_json_exposes_monotonic_durations():
+    wall, mono = FakeClock(), FakeClock(50.0)
+    job = _job(wall, mono)
+    mono.t += 1.5
+    job.mark_started()
+    mono.t += 4.0
+    job.finish("done", result={})
+    doc = job.to_json()
+    assert doc["queue_wait_s"] == 1.5
+    assert doc["run_s"] == 4.0
+
+
+def test_follower_reports_primary_durations():
+    wall, mono = FakeClock(), FakeClock(0.0)
+    primary = _job(wall, mono)
+    follower = _job(wall, mono)
+    primary.attach_follower(follower)
+
+    mono.t += 3.0
+    primary.mark_started()
+    mono.t += 2.0
+    primary.finish("done", result={"ok": True})
+
+    doc = follower.to_json()
+    assert doc["deduped"] is True
+    assert doc["queue_wait_s"] == 3.0  # the primary's wait: one execution
+    assert doc["run_s"] == 2.0
+    assert follower.state == "done"

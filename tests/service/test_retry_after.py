@@ -1,0 +1,119 @@
+"""Defensive Retry-After parsing in the service client.
+
+``Retry-After`` is spec-legal as either delta-seconds or an HTTP-date
+(RFC 9110 §10.2.3); a proxy in front of the service may rewrite the
+numeric hint the server sends into a date, or into garbage.  The client
+must degrade an unparsable hint to "no hint" — raising the promised
+:class:`ServiceError`, never a bare ``ValueError`` from ``float()``.
+"""
+
+from __future__ import annotations
+
+import email.utils
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError, _parse_retry_after
+
+# -- unit: the parser ---------------------------------------------------------
+
+
+def test_numeric_delta_seconds():
+    assert _parse_retry_after("2.5") == 2.5
+    assert _parse_retry_after(7) == 7.0
+    assert _parse_retry_after(0) == 0.0
+
+
+def test_negative_delta_clamps_to_zero():
+    assert _parse_retry_after("-3") == 0.0
+
+
+def test_http_date_in_the_future():
+    value = email.utils.formatdate(time.time() + 60, usegmt=True)
+    got = _parse_retry_after(value)
+    assert got is not None
+    assert 0 < got <= 61
+
+
+def test_http_date_in_the_past_clamps_to_zero():
+    value = email.utils.formatdate(time.time() - 60, usegmt=True)
+    assert _parse_retry_after(value) == 0.0
+
+
+@pytest.mark.parametrize(
+    "value",
+    [None, "", "soon", "Wed, 99 Xxx 2026", "1,5", [], {}],
+)
+def test_unparsable_hints_are_none(value):
+    assert _parse_retry_after(value) is None
+
+
+# -- integration: a 429 with garbage hints still raises ServiceError ----------
+
+
+class _Stubborn429(BaseHTTPRequestHandler):
+    """Answers every POST with a 429 carrying unparsable hints."""
+
+    def do_POST(self):  # noqa: N802 - http.server API
+        body = json.dumps(
+            {"error": "busy", "retry_after": "in a little while"}
+        ).encode()
+        self.send_response(429)
+        self.send_header("Retry-After", "when the stars align")
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # quiet
+        pass
+
+
+def test_garbage_hints_raise_service_error_not_valueerror():
+    server = HTTPServer(("127.0.0.1", 0), _Stubborn429)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        c = ServiceClient(port=server.server_address[1])
+        with pytest.raises(ServiceError) as exc:
+            c.submit_run({"policy": "icount"})
+        assert exc.value.status == 429
+        assert exc.value.retry_after is None  # hint degraded, not fatal
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def test_date_header_hint_is_used_when_body_hint_is_garbage():
+    class _DateHint(_Stubborn429):
+        def do_POST(self):  # noqa: N802
+            body = json.dumps(
+                {"error": "busy", "retry_after": "garbage"}
+            ).encode()
+            self.send_response(429)
+            self.send_header(
+                "Retry-After",
+                email.utils.formatdate(time.time() + 30, usegmt=True),
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+    server = HTTPServer(("127.0.0.1", 0), _DateHint)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        c = ServiceClient(port=server.server_address[1])
+        with pytest.raises(ServiceError) as exc:
+            c.submit_run({"policy": "icount"})
+        assert exc.value.retry_after is not None
+        assert 0 < exc.value.retry_after <= 31
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
