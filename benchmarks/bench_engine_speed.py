@@ -214,6 +214,84 @@ def bench_cycle_loop_mem_bound_vectorized(benchmark, speed_log):
     _record(speed_log, "cycle_loop_mem_bound_vectorized", benchmark)
 
 
+def _identity_run(proc_cls, config, policy_name, traces, max_cycles):
+    """Final stats of one run — the in-bench identity oracle for the
+    slot-pool benches below (vectorized is itself gated bit-identical to
+    the reference interpreter by the identity suite)."""
+    kw = {"interval": 1024} if policy_name == "cdprf" else {}
+    proc = proc_cls(config, make_policy(policy_name, **kw), traces)
+    proc.run_loop(max_cycles)
+    return proc.finalize_stats().as_dict()
+
+
+def _bench_slot_pool(benchmark, speed_log, backend, name, policy_name, traces,
+                     max_cycles):
+    """Shared body of the ``cycle_loop_*_{numpy,compiled}`` benches: time
+    the engine, then assert its stats are identical to the flattened
+    engine's on the same scenario (a bench that silently diverged would
+    record a meaningless speedup)."""
+    from repro.core.backends import processor_class
+    from repro.core.vectorized import VectorizedProcessor
+
+    config = baseline_config()
+    proc_cls = processor_class(backend)
+    kw = {"interval": 1024} if policy_name == "cdprf" else {}
+
+    def run():
+        proc = proc_cls(config, make_policy(policy_name, **kw), traces)
+        proc.run_loop(max_cycles)
+        return proc
+
+    proc = benchmark(run)
+    assert proc.stats.committed > 0
+    expect = _identity_run(VectorizedProcessor, config, policy_name, traces,
+                           max_cycles)
+    assert proc.finalize_stats().as_dict() == expect, (
+        f"{backend} diverged from vectorized on {name}"
+    )
+    _record(speed_log, name, benchmark)
+
+
+def bench_cycle_loop_icount_numpy(benchmark, speed_log):
+    """The ILP pair on the batched slot-pool engine; the ratio to
+    ``cycle_loop_icount_vectorized`` is the engine's relative speed on
+    short-queue compute-dense runs."""
+    _bench_slot_pool(benchmark, speed_log, "numpy", "cycle_loop_icount_numpy",
+                     "icount", _traces(), 100_000)
+
+
+def bench_cycle_loop_icount_compiled(benchmark, speed_log):
+    """The ILP pair with the cffi wakeup/select kernel (falls back to the
+    pure kernel when the toolchain is unavailable — the recorded mean then
+    documents the fallback, not the kernel)."""
+    _bench_slot_pool(benchmark, speed_log, "compiled",
+                     "cycle_loop_icount_compiled", "icount", _traces(), 100_000)
+
+
+def bench_cycle_loop_mem_bound_numpy(benchmark, speed_log):
+    _bench_slot_pool(benchmark, speed_log, "numpy",
+                     "cycle_loop_mem_bound_numpy", "icount", _mem_traces(),
+                     200_000)
+
+
+def bench_cycle_loop_mem_bound_compiled(benchmark, speed_log):
+    """Stall-heavy runs keep the ready queues long, which is where the C
+    scan pays for its per-cycle FFI boundary."""
+    _bench_slot_pool(benchmark, speed_log, "compiled",
+                     "cycle_loop_mem_bound_compiled", "icount", _mem_traces(),
+                     200_000)
+
+
+def bench_cycle_loop_cdprf_numpy(benchmark, speed_log):
+    _bench_slot_pool(benchmark, speed_log, "numpy", "cycle_loop_cdprf_numpy",
+                     "cdprf", _traces(), 100_000)
+
+
+def bench_cycle_loop_cdprf_compiled(benchmark, speed_log):
+    _bench_slot_pool(benchmark, speed_log, "compiled",
+                     "cycle_loop_cdprf_compiled", "cdprf", _traces(), 100_000)
+
+
 def bench_cycle_loop_ff_on(benchmark, speed_log):
     """Fast-forward showcase: a stall-heavy MEM pair under the Stall scheme.
 

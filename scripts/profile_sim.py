@@ -9,11 +9,17 @@ the engine's hot methods via ``line_profiler`` when that optional
 dependency is installed (the baked-in toolchain does not ship it; the
 flag degrades to a clear message instead of an ImportError).
 
+With ``--compare``, profiles the same simulation once per backend and
+prints a side-by-side cumulative-time table — the quickest way to see
+*where* one engine spends time the others don't.
+
 Examples::
 
     python scripts/profile_sim.py                         # vectorized icount/ilp
-    python scripts/profile_sim.py --backend reference --policy cdprf
+    python scripts/profile_sim.py --backend compiled --policy cdprf
     python scripts/profile_sim.py --kind mem --max-cycles 200000 --top 40
+    python scripts/profile_sim.py --compare               # all backends, side by side
+    python scripts/profile_sim.py --compare vectorized,numpy,compiled --kind mem
     python scripts/profile_sim.py --line                  # needs line_profiler
 """
 
@@ -23,6 +29,7 @@ import argparse
 import cProfile
 import pstats
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -71,12 +78,14 @@ def line_profile(args, run) -> int:
             file=sys.stderr,
         )
         return 2
-    from repro.core import processor, vectorized
+    from repro.core import npengine, processor, vectorized
 
     lp = LineProfiler()
     backend = resolve_backend(args.backend)
     if backend == "vectorized":
         lp.add_function(vectorized.VectorizedProcessor.run_loop)
+    elif backend in ("numpy", "compiled"):
+        lp.add_function(npengine.NumpyProcessor._slot_loop)
     else:
         for fn in (
             processor.Processor.step_fast,
@@ -92,10 +101,67 @@ def line_profile(args, run) -> int:
     return 0
 
 
+def _func_label(func, width=44) -> str:
+    filename, lineno, name = func
+    if filename == "~":
+        label = name.strip("<>")
+    else:
+        label = f"{Path(filename).name}:{lineno}({name})"
+    return label if len(label) <= width else label[: width - 1] + "…"
+
+
+def compare(args) -> int:
+    """Profile the same simulation on several backends; print wall-clock
+    summary and a side-by-side top-N cumulative-time table."""
+    backends = args.compare
+    summary = []
+    tops = {}
+    for backend in backends:
+        sub = argparse.Namespace(**{**vars(args), "backend": backend})
+        run = make_run(sub)
+        run()  # warm caches / build the kernel outside the profiled run
+        prof = cProfile.Profile()
+        t0 = time.perf_counter()
+        proc = prof.runcall(run)
+        wall = time.perf_counter() - t0
+        st = pstats.Stats(prof)
+        summary.append((backend, wall, proc.stats.cycles, proc.stats.committed))
+        tops[backend] = sorted(
+            ((func, stat[3]) for func, stat in st.stats.items()),
+            key=lambda kv: -kv[1],
+        )[: args.top]
+
+    print(f"policy={args.policy} kind={args.kind} n_uops={args.n_uops} "
+          f"ff={not args.no_ff}\n")
+    print(f"{'backend':<12} {'wall ms':>9} {'cycles':>9} {'committed':>10}")
+    base = summary[0][1]
+    for backend, wall, cycles, committed in summary:
+        rel = f"  ({wall / base:4.2f}x)" if backend != summary[0][0] else ""
+        print(f"{backend:<12} {wall * 1e3:9.2f} {cycles:9d} {committed:10d}{rel}")
+
+    colw = 54
+    print(f"\n== top {args.top} by cumtime, side by side ==")
+    print("".join(f"{b:<{colw}}" for b in backends))
+    for i in range(args.top):
+        cells = []
+        for b in backends:
+            if i < len(tops[b]):
+                func, ct = tops[b][i]
+                cells.append(f"{ct:7.3f}s {_func_label(func)}")
+            else:
+                cells.append("")
+        print("".join(f"{c:<{colw}}" for c in cells))
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     ap.add_argument("--backend", default=None, choices=BACKENDS,
                     help="engine to profile (default: resolved backend)")
+    ap.add_argument("--compare", nargs="?", const=",".join(BACKENDS),
+                    default=None, metavar="B1,B2,...",
+                    help="profile several backends (default: all registered) "
+                    "and print a side-by-side cumtime table")
     ap.add_argument("--policy", default="icount", choices=POLICY_NAMES)
     ap.add_argument("--kind", default="ilp", choices=("ilp", "mem", "mix"),
                     help="workload pair to simulate")
@@ -110,6 +176,13 @@ def main(argv=None) -> int:
     ap.add_argument("--line", action="store_true",
                     help="line-profile the engine hot paths (needs line_profiler)")
     args = ap.parse_args(argv)
+
+    if args.compare is not None:
+        names = [resolve_backend(b) for b in args.compare.split(",") if b.strip()]
+        if not names:
+            ap.error("--compare needs at least one backend name")
+        args.compare = names
+        return compare(args)
 
     run = make_run(args)
     run()  # warm trace/JIT-free caches so the profile measures steady state

@@ -9,6 +9,24 @@ fast-forward on or off; the cross-backend identity suite
 (``tests/core/test_backend_identity.py``) is the gate that keeps that
 guarantee honest.
 
+Registered engines:
+
+``reference``
+    the oracle interpreter (one object per uop, one method per stage).
+``vectorized``
+    the flattened SoA engine (the default): one function, precomputed
+    trace columns, object-per-uop in-flight state.
+``numpy``
+    the batched slot-pool engine: in-flight uops live in
+    :class:`~repro.core.soa.PipelineSoA` columns, no ``Uop`` objects on
+    the fast path (:mod:`repro.core.npengine`).
+``compiled``
+    the slot-pool engine with its wakeup/select inner kernel compiled
+    to C on demand via cffi (:mod:`repro.core.ckernel`).  The kernel is
+    a *soft* dependency: when cffi or a C compiler is missing — or
+    ``REPRO_NO_CKERNEL`` is set — the backend silently runs the pure
+    Python kernel and remains bit-identical.
+
 Selection precedence: explicit ``backend=`` argument >
 ``REPRO_BACKEND`` environment variable > :data:`DEFAULT_BACKEND`.
 Unknown names fail fast with the list of valid backends (mirroring
@@ -27,11 +45,28 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _ENV_VAR = "REPRO_BACKEND"
 
-#: Registered backend names.  ``reference`` is the oracle interpreter;
-#: ``vectorized`` is the flattened SoA engine (the default).
-BACKENDS: tuple[str, ...] = ("reference", "vectorized")
+#: Registered backend names, in oracle-to-fastest order.
+BACKENDS: tuple[str, ...] = ("reference", "vectorized", "numpy", "compiled")
+
+#: Backends whose full speed depends on an optional toolchain; they
+#: still *run* without it (pure-Python fallback), but selection errors
+#: report the degradation so users aren't surprised by the numbers.
+OPTIONAL_BACKENDS: tuple[str, ...] = ("compiled",)
 
 DEFAULT_BACKEND = "vectorized"
+
+
+def optional_backend_notes() -> dict[str, str]:
+    """Availability notes for optional backends (empty note = fully
+    available).  Probing is cheap: it checks the toolchain, it does not
+    build the kernel."""
+    notes: dict[str, str] = {}
+    from repro.core.ckernel import kernel_unavailable_reason
+
+    reason = kernel_unavailable_reason()
+    if reason:
+        notes["compiled"] = f"runs with pure-Python kernel: {reason}"
+    return notes
 
 
 def resolve_backend(backend: str | None = None) -> str:
@@ -39,7 +74,9 @@ def resolve_backend(backend: str | None = None) -> str:
 
     ``backend=None`` consults ``REPRO_BACKEND``; an unset/empty variable
     means :data:`DEFAULT_BACKEND`.  Raises :class:`ValueError` for
-    unknown names, naming the source of the bad value.
+    unknown names, naming the source of the bad value, every registered
+    backend, and — for optional backends — whether their accelerated
+    path is currently available.
     """
     source = "backend"
     if backend is None:
@@ -51,10 +88,17 @@ def resolve_backend(backend: str | None = None) -> str:
     name = backend.strip().lower()
     if name not in BACKENDS:
         valid = ", ".join(BACKENDS)
-        raise ValueError(
+        msg = (
             f"unknown simulation backend {backend!r} (from {source}); "
             f"valid backends: {valid}"
         )
+        try:
+            notes = optional_backend_notes()
+        except Exception:  # pragma: no cover - probe must never mask the error
+            notes = {}
+        for opt, note in notes.items():
+            msg += f" [{opt}: {note}]"
+        raise ValueError(msg)
     return name
 
 
@@ -62,13 +106,21 @@ def processor_class(backend: str) -> "type[Processor]":
     """The :class:`Processor` subclass implementing ``backend``.
 
     ``backend`` must already be resolved (see :func:`resolve_backend`).
-    The vectorized engine is imported lazily so merely importing the
-    core package never pays for it.
+    Engines are imported lazily so merely importing the core package
+    never pays for them.
     """
     if backend == "vectorized":
         from repro.core.vectorized import VectorizedProcessor
 
         return VectorizedProcessor
+    if backend == "numpy":
+        from repro.core.npengine import NumpyProcessor
+
+        return NumpyProcessor
+    if backend == "compiled":
+        from repro.core.npengine import CompiledProcessor
+
+        return CompiledProcessor
     if backend == "reference":
         from repro.core.processor import Processor
 

@@ -1,0 +1,1657 @@
+"""Slot-pool batched engine (the ``numpy`` and ``compiled`` backends).
+
+The ``vectorized`` engine flattened the *control* of the cycle loop but
+kept one :class:`~repro.isa.Uop` object per in-flight micro-operation —
+profiles show object allocation plus attribute traffic is what remains
+of its cost.  This engine removes the objects: the hot pipeline state
+lives in a :class:`~repro.core.soa.PipelineSoA` slot pool, a uop is an
+integer slot, a field read is ``column[slot]``, and the age-ordered lazy
+structures (ready heaps, deferred lists, the event wheel, the
+interconnect) hold packed ``(age << SLOT_BITS) | slot`` keys.
+
+Identity is by construction, the same way ``vectorized`` earns it:
+
+* inside its *envelope* — no telemetry, every policy hook resolved to
+  the base-class no-op, and steering either inlinable or forced — the
+  loop below is an operation-for-operation transcription of the
+  vectorized loop (itself a transcription of the reference), with
+  ``uop.field`` reads replaced by column reads.  The memory hierarchy
+  and trace-cache transcriptions are *shared* with ``vectorized``
+  (:func:`~repro.core.vectorized.make_mem_access` /
+  :func:`~repro.core.vectorized.make_tc_lookup`), so they exist once.
+* outside the envelope (flush/stall policies with live hooks, telemetry
+  runs, steering ablations) every entry point delegates to the proven
+  vectorized implementation.  The envelope test depends only on
+  constructor arguments, so one processor instance never mixes slot and
+  object state.
+
+Slot recycling discipline (why a freed slot can never be mistaken for
+its previous occupant) is documented on :class:`PipelineSoA`; the two
+subtle points are that commit can retire a copy uop from its thread's
+in-flight list *before* the inter-cluster transfer delivers (the slot
+is then ``orphan`` ed and freed at delivery), and that the rename-stall
+memo keys on ``(fetch-queue entry, generation, epoch)`` instead of
+object identity.  Fetch-queue entries are packed ints: odd entries are
+``(slot << 1) | 1`` for uops that needed fetch-time work (branches,
+MROM ops, wrong path), even entries are ``trace_index << 1`` for plain
+right-path records, whose slots are allocated only at dispatch — a
+whole plain run enters the queue as one ``extend(range(...))``.
+
+The ``compiled`` backend is this same engine with the wakeup/select
+inner kernel — the heap/deferred merge scan plus port arbitration that
+dominates the select phase — replaced by a small C library built on
+demand with cffi (:mod:`repro.core.ckernel`).  The kernel is a soft
+dependency: when cffi or a C compiler is unavailable (or
+``REPRO_NO_CKERNEL`` is set), the backend silently runs the pure-Python
+kernel and stays bit-identical.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.core.processor import (
+    _EMPTY_EXCLUDE,
+    _NO_PASSED,
+    _WATCHDOG_CYCLES,
+    DeadlockError,
+)
+from repro.core.soa import SLOT_BITS, SLOT_MASK, PipelineSoA, trace_latencies, trace_soa
+from repro.core.vectorized import (
+    _BRANCH,
+    _COPY,
+    _LOAD,
+    _NO_REG,
+    _READY_EVERYWHERE,
+    _STORE,
+    VectorizedProcessor,
+    make_mem_access,
+    make_tc_lookup,
+)
+from repro.isa import NUM_ARCH_INT
+from repro.isa.uops import PORT_CLASS_TABLE
+
+#: wait registrations pack (cluster, regclass, phys) into one int
+_WAIT_PHYS_MASK = (1 << 29) - 1
+
+
+class NumpyProcessor(VectorizedProcessor):
+    """Processor whose :meth:`run_loop` is the slot-pool SoA engine."""
+
+    backend_name = "numpy"
+
+    def __init__(self, config, policy, traces, steering=None, telemetry=None):
+        super().__init__(
+            config, policy, traces, steering=steering, telemetry=telemetry
+        )
+        # The slot engine's envelope: nothing may observe or mutate
+        # per-uop state from outside the loop.  Policy *admission* hooks
+        # (may_dispatch_group / may_alloc_reg / rename_select) stay fair
+        # game — they read thread scalars, never uops.
+        self._soa_ok = (
+            self.tel is None
+            and all(h is None for h in self._hooks.values())
+            and (self._steer_inline or self._forced_cluster is not None)
+        )
+        self._pipe = None
+        self._kernel = None
+        # static per-record columns for the slot fill at fetch:
+        # _fetch_cols plus (port_class, dest_class, base latency)
+        self._slot_cols = []
+        for tid, t in enumerate(self.threads):
+            soa = trace_soa(t.trace)
+            self._slot_cols.append(
+                self._fetch_cols[tid]
+                + (
+                    soa.port_class,
+                    soa.dest_class,
+                    trace_latencies(t.trace, self._latency),
+                    soa.next_slow,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # entry points                                                       #
+    # ------------------------------------------------------------------ #
+
+    def run_loop(
+        self,
+        limit: int,
+        stop: str = "first_done",
+        use_ff: bool = True,
+        commit_target: int | None = None,
+    ) -> None:
+        if not self._soa_ok:
+            return super().run_loop(
+                limit, stop=stop, use_ff=use_ff, commit_target=commit_target
+            )
+        if self._pipe is None:
+            self._init_soa()
+        # _slot_loop returns False when the pool grew mid-run (column
+        # buffers reallocated); re-entering rebinds every local
+        while not self._slot_loop(limit, stop, use_ff, commit_target, False):
+            pass
+
+    def step(self) -> None:
+        """One cycle through the slot engine (keeps slot/object state
+        from ever mixing on an accelerated instance)."""
+        if not self._soa_ok:
+            return super().step()
+        if self._pipe is None:
+            self._init_soa()
+        while not self._slot_loop(self.cycle + 1, "cycles", False, None, True):
+            pass
+
+    def step_fast(self, limit: int) -> None:
+        if not self._soa_ok:
+            return super().step_fast(limit)
+        if self._pipe is None:
+            self._init_soa()
+        while not self._slot_loop(limit, "cycles", True, None, True):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # pool setup                                                         #
+    # ------------------------------------------------------------------ #
+
+    def _pool_capacity(self) -> int:
+        """Upper bound on simultaneously live slots.
+
+        Fetch queues + ROB partitions bound the non-copy uops; issue
+        queues plus total register capacity bound the copies (an
+        undelivered copy always holds a replica register).  Unbounded
+        ROB/register configs start from their initial capacity and rely
+        on :meth:`PipelineSoA.grow`.
+        """
+        cap = 64
+        fq_cap = self._fetch_queue_entries
+        for t in self.threads:
+            cap += fq_cap + t.rob.capacity
+        for cl in self.clusters:
+            cap += cl.iq.capacity
+            for f in cl.regs.files:
+                cap += f.capacity
+        return cap
+
+    def _init_soa(self) -> None:
+        self._pipe = PipelineSoA(self._pool_capacity())
+
+    # ------------------------------------------------------------------ #
+    # rare paths (slot transcriptions of the reference helpers)          #
+    # ------------------------------------------------------------------ #
+
+    def _soa_squash_younger(self, thread, keep_age, rewind):
+        # Slot transcription of VectorizedProcessor._squash_younger
+        # (hooks are None inside the envelope, so their branches vanish).
+        # Squashed slots are freed immediately: their lazy heap/wheel/
+        # interconnect entries are invalidated by the packed-age check.
+        pipe = self._pipe
+        p_age = pipe.age
+        p_iss = pipe.issued
+        p_sq = pipe.squashed
+        p_op = pipe.opclass
+        p_dest = pipe.dest
+        p_pd = pipe.phys_dest
+        p_pp = pipe.prev_phys
+        p_ppc = pipe.prev_phys_cl
+        p_pr = pipe.prev_replica
+        p_destk = pipe.dest_class
+        p_cl = pipe.cluster
+        p_pref = pipe.pref
+        p_wp = pipe.wrong_path
+        p_seq = pipe.seq
+        p_misp = pipe.misp
+        p_mob = pipe.mob_index
+        p_ml = pipe.mem_line
+        p_w0 = pipe.wait0
+        p_w1 = pipe.wait1
+        wt = pipe.waiters
+        free_slots = pipe.free_slots
+        table = thread.rename_table
+        tcl = table._cluster
+        tph = table._phys
+        trp = table._replica
+        tid = thread.tid
+        clusters = self.clusters
+        files_by_cluster = (clusters[0].regs.files, clusters[1].regs.files)
+        mob = self.mob
+        mob_entries = mob._entries
+        mob_per_thread = mob.per_thread
+        min_seq = None
+        infl = thread.inflight
+        n_squashed = 0
+        while infl and p_age[infl[-1]] > keep_age:
+            sl = infl.pop()
+            p_sq[sl] = 1
+            n_squashed += 1
+            if not p_iss[sl]:
+                iq = clusters[p_cl[sl]].iq
+                iq.occupancy -= 1
+                iq.per_thread[tid] -= 1
+                thread.icount -= 1
+                for w in (p_w0[sl], p_w1[sl]):
+                    if w != -1:
+                        d = wt[w >> 30][(w >> 29) & 1]
+                        phys = w & _WAIT_PHYS_MASK
+                        lst = d.get(phys)
+                        if lst is not None:
+                            try:
+                                lst.remove(sl)
+                            except ValueError:
+                                pass
+                            if not lst:
+                                del d[phys]
+            if p_op[sl] == _COPY:
+                dest = p_dest[sl]
+                phys = p_pd[sl]
+                if trp[dest] == phys:
+                    trp[dest] = _NO_REG
+                k = p_destk[sl]
+                tc_ = p_pref[sl]
+                f = files_by_cluster[tc_][k]
+                f._ready[phys] = 0
+                if wt[tc_][k].pop(phys, None):
+                    raise RuntimeError(
+                        f"freeing phys reg {phys} with live waiters"
+                    )
+                f._free.append(phys)
+                f.in_use -= 1
+            else:
+                dest = p_dest[sl]
+                if dest != _NO_REG:
+                    tcl[dest] = p_ppc[sl]
+                    tph[dest] = p_pp[sl]
+                    trp[dest] = p_pr[sl]
+                    phys = p_pd[sl]
+                    k = p_destk[sl]
+                    cl_ = p_cl[sl]
+                    f = files_by_cluster[cl_][k]
+                    f._ready[phys] = 0
+                    if wt[cl_][k].pop(phys, None):
+                        raise RuntimeError(
+                            f"freeing phys reg {phys} with live waiters"
+                        )
+                    f._free.append(phys)
+                    f.in_use -= 1
+                opc = p_op[sl]
+                if opc == _LOAD or opc == _STORE:
+                    mi = p_mob[sl]
+                    if mi >= 0:
+                        mob.occupancy -= 1
+                        mob_per_thread[tid] -= 1
+                        p_mob[sl] = -1
+                        if mob.occupancy < 0:
+                            raise RuntimeError("MOB underflow")
+                        if mi == 2:
+                            lines = mob_entries[tid]
+                            ml = p_ml[sl]
+                            cnt = lines.get(ml, 0)
+                            if cnt <= 1:
+                                lines.pop(ml, None)
+                            else:
+                                lines[ml] = cnt - 1
+                if p_misp[sl] and not p_wp[sl]:
+                    thread.wrong_path = False
+                if not p_wp[sl] and p_seq[sl] >= 0:
+                    sq = p_seq[sl]
+                    min_seq = sq if min_seq is None else min(min_seq, sq)
+            free_slots.append(sl)
+        self.stats.squashed_uops += n_squashed
+        self._epoch += 1  # every squash releases admission-relevant state
+        ents = thread.rob._entries
+        while ents and p_age[ents[-1]] > keep_age:
+            ents.pop()
+        # fetch-queue entries: even = packed trace index (right path, no
+        # slot yet), odd = (slot << 1) | 1 for slow-path/wrong-path uops
+        for entry in thread.fetch_queue:
+            if entry & 1:
+                sl = entry >> 1
+                if not p_wp[sl] and p_seq[sl] >= 0:
+                    sq = p_seq[sl]
+                    min_seq = sq if min_seq is None else min(min_seq, sq)
+                if p_misp[sl] and not p_wp[sl]:
+                    thread.wrong_path = False
+                free_slots.append(sl)
+            else:
+                sq = entry >> 1
+                min_seq = sq if min_seq is None else min(min_seq, sq)
+        thread.fetch_queue.clear()
+        if min_seq is not None:
+            if not rewind:
+                raise AssertionError(
+                    "right-path uops squashed by a branch resolution"
+                )
+            thread.cursor = min(thread.cursor, min_seq)
+
+    def _soa_resolve_mispredict(self, branch_sl):
+        pipe = self._pipe
+        thread = self.threads[pipe.tid[branch_sl]]
+        self._soa_squash_younger(thread, pipe.age[branch_sl], False)
+        thread.wrong_path = False
+        nb = self.cycle + self._mispredict_pipeline
+        if nb > thread.fetch_blocked_until:
+            thread.fetch_blocked_until = nb
+        self.stats.mispredicts += 1
+
+    def _soa_copy(self, thread, consumer_sl, arch, target_cluster, table):
+        """Slot transcription of ``Processor._make_copy``; returns the
+        replica physical register the consumer will read."""
+        pipe = self._pipe
+        tid = thread.tid
+        home = table._cluster[arch]
+        hphys = table._phys[arch]
+        k = 0 if arch < NUM_ARCH_INT else 1
+        f = self.clusters[target_cluster].regs.files[k]
+        fl = f._free
+        if fl:
+            replica = fl.pop()
+            f._ready[replica] = 0
+            iu = f.in_use + 1
+            f.in_use = iu
+            f.alloc_count += 1
+            if iu > f.peak_in_use:
+                f.peak_in_use = iu
+        else:
+            replica = f.alloc()  # unbounded growth (or error)
+        table.set_replica(arch, replica)
+        sl = pipe.free_slots.pop()
+        pipe.opclass[sl] = _COPY
+        pipe.dest[sl] = arch  # architectural identity, for replica bookkeeping
+        pipe.src1[sl] = arch
+        pipe.src2[sl] = _NO_REG
+        pipe.seq[sl] = -1
+        pipe.lat[sl] = self._latency[_COPY]
+        pipe.tid[sl] = tid
+        pipe.pcls[sl] = PORT_CLASS_TABLE[_COPY]
+        pipe.dest_class[sl] = k
+        pipe.wrong_path[sl] = pipe.wrong_path[consumer_sl]
+        pipe.cluster[sl] = home
+        pipe.pref[sl] = target_cluster  # destination of the transfer
+        pipe.phys_dest[sl] = replica
+        pipe.gen[sl] += 1
+        pipe.issued[sl] = 0
+        pipe.squashed[sl] = 0
+        pipe.done[sl] = 0
+        pipe.misp[sl] = 0
+        pipe.orphan[sl] = 0
+        w0 = -1
+        home_file = self.clusters[home].regs.files[k]
+        if home_file._ready[hphys]:
+            wait = 0
+        else:
+            d = pipe.waiters[home][k]
+            lst = d.get(hphys)
+            if lst is None:
+                d[hphys] = [sl]
+            else:
+                lst.append(sl)
+            w0 = (home << 30) | (k << 29) | hphys
+            wait = 1
+        pipe.wait_count[sl] = wait
+        pipe.wait0[sl] = w0
+        pipe.wait1[sl] = -1
+        age = self._age
+        pipe.age[sl] = age
+        self._age = age + 1
+        if pipe.cages is not None:
+            pipe.cages[sl] = age
+        hiq = self.clusters[home].iq
+        if hiq.occupancy >= hiq.capacity:
+            raise RuntimeError(f"issue queue {home} overflow")
+        occ = hiq.occupancy + 1
+        hiq.occupancy = occ
+        hiq.per_thread[tid] += 1
+        if occ > hiq.peak:
+            hiq.peak = occ
+        if wait == 0:
+            key = (age << SLOT_BITS) | sl
+            ck = self._kernel
+            if ck is None:
+                heappush(hiq._ready, key)
+            else:
+                ck.pending[home].append(key)
+        thread.inflight.append(sl)
+        thread.icount += 1
+        self.stats.copies_renamed += 1
+        return replica
+
+    # ------------------------------------------------------------------ #
+    # the slot-pool engine                                               #
+    # ------------------------------------------------------------------ #
+
+    def _slot_loop(self, limit, stop, use_ff, commit_target, single):
+        """Run cycles until ``stop``/``limit`` (or one cycle when
+        ``single``); returns False when the pool grew and the caller
+        must re-enter to rebind the reallocated column buffers."""
+        # ---- per-run local bindings ----
+        s = self.stats
+        cpt = s.committed_per_thread
+        rsc = s.rename_stall_cycles
+        rse = s.reg_stall_events
+        imb = s.imbalance
+        threads = self.threads
+        n_threads = self._n_threads
+        policy = self.policy
+        cl0, cl1 = self.clusters
+        iq0, iq1 = cl0.iq, cl1.iq
+        iq0_cap, iq1_cap = iq0.capacity, iq1.capacity
+        files0, files1 = cl0.regs.files, cl1.regs.files
+        files_by_cluster = (files0, files1)
+        max_scan0, max_scan1 = self._max_scan
+        events = self._events
+        fills = self._fill_events
+        ev_pop = events.pop
+        fe_pop = fills.pop
+        mob = self.mob
+        mob_entries = self.mob._entries
+        mob_per_thread = self.mob.per_thread
+        mem_access = make_mem_access(self.mem)
+        icn = self.icn
+        icn_pending = icn._pending
+        icn_links = icn.num_links
+        icn_lat = icn.latency
+        pred_update = self.predictor.update
+        ipred_update = self.ipredictor.update
+        tc_lookup = make_tc_lookup(self.tc)
+        latency_tbl = self._latency
+        slot_cols = self._slot_cols
+        fetch_width = self._fetch_width
+        fq_cap = self._fetch_queue_entries
+        commit_width = self._commit_width
+        mrom_latency = self._mrom_latency
+        model_wrong_path = self.config.model_wrong_path
+        PCT = PORT_CLASS_TABLE
+        _heappush = heappush
+        _heappop = heappop
+        icount_sel = self._icount_select
+        clusters = self.clusters
+        steering = self.steering
+        steer_inline = self._steer_inline
+        imb_threshold = steering.imbalance_threshold
+        forced = self._forced_cluster
+        memo_on = self._memo_on
+        memo_list = self._rename_memo
+        creplays = self._cycle_replays
+        dispatch_trivial = self._dispatch_trivial
+        alloc_trivial = self._alloc_trivial
+        rename_width = self._rename_width
+        mob_capacity = mob.capacity
+        num_int = NUM_ARCH_INT
+
+        # ---- slot-pool column bindings ----
+        pipe = self._pipe
+        free_slots = pipe.free_slots
+        free_pop = free_slots.pop
+        free_append = free_slots.append
+        p_op = pipe.opclass
+        p_dest = pipe.dest
+        p_s1 = pipe.src1
+        p_s2 = pipe.src2
+        p_seq = pipe.seq
+        p_ml = pipe.mem_line
+        p_lat = pipe.lat
+        p_tid = pipe.tid
+        p_destk = pipe.dest_class
+        p_pcls = pipe.pcls
+        p_wp = pipe.wrong_path
+        p_age = pipe.age
+        p_gen = pipe.gen
+        p_cl = pipe.cluster
+        p_pd = pipe.phys_dest
+        p_pp = pipe.prev_phys
+        p_ppc = pipe.prev_phys_cl
+        p_pr = pipe.prev_replica
+        p_wc = pipe.wait_count
+        p_mob = pipe.mob_index
+        p_w0 = pipe.wait0
+        p_w1 = pipe.wait1
+        p_iss = pipe.issued
+        p_sq = pipe.squashed
+        p_done = pipe.done
+        p_misp = pipe.misp
+        p_orph = pipe.orphan
+        p_pref = pipe.pref
+        wt = pipe.waiters
+        cages = pipe.cages
+        ck = self._kernel
+        if ck is None:
+            pend0 = pend1 = None
+        else:
+            pend0, pend1 = ck.pending
+        heap0 = iq0._ready
+        heap1 = iq1._ready
+        # rename + copy generation is the only allocation window; a
+        # renamed uop can spawn at most two copies
+        headroom = fetch_width + 3 * rename_width + 4
+
+        stop_first = stop == "first_done"
+        stop_all = stop == "all_done"
+        warmup = commit_target is not None
+
+        commit_orders = tuple(
+            tuple(threads[(r + off) % n_threads] for off in range(n_threads))
+            for r in range(n_threads)
+        )
+
+        cycle = self.cycle
+        while cycle < limit:
+            # ---- stop conditions ----
+            if warmup:
+                if s.committed >= commit_target:
+                    break
+            elif stop_first:
+                if self.finished_count > 0:
+                    break
+            elif stop_all:
+                if self.finished_count >= n_threads:
+                    break
+
+            # ---- pool headroom (the only safe grow point) ----
+            if len(free_slots) < headroom:
+                pipe.grow()
+                if ck is not None:
+                    ck.rebind(pipe)
+                return False
+
+            # ---- fast-forward candidacy ----
+            nxt = cycle + 1
+            if (
+                use_ff
+                and nxt not in events
+                and nxt not in fills
+                and not icn_pending
+                and not icn._in_flight
+            ):
+                candidate = True
+                squash_before = s.squashed_uops
+            else:
+                candidate = False
+            active = False
+
+            cycle = nxt
+            self.cycle = nxt
+
+            # ================= commit =================
+            committed = 0
+            rr = self._commit_rr
+            order = commit_orders[rr]
+            progress = True
+            while committed < commit_width and progress:
+                progress = False
+                for t in order:
+                    if committed >= commit_width:
+                        break
+                    ents = t.rob._entries
+                    if not ents:
+                        continue
+                    head = ents[0]
+                    if not p_done[head]:
+                        continue
+                    # --- inlined _commit_uop (slots) ---
+                    ents.popleft()
+                    htid = p_tid[head]
+                    infl = t.inflight
+                    age = p_age[head]
+                    while infl and p_age[infl[0]] <= age:
+                        csl = infl.popleft()
+                        if csl != head:
+                            # a copy retiring with the head; its transfer
+                            # may still be in flight — free at delivery
+                            if p_done[csl]:
+                                free_append(csl)
+                            else:
+                                p_orph[csl] = 1
+                    dest = p_dest[head]
+                    if dest != _NO_REG:
+                        k = p_destk[head]
+                        pp = p_pp[head]
+                        if pp >= 0:
+                            pc_ = p_ppc[head]
+                            f = files_by_cluster[pc_][k]
+                            f._ready[pp] = 0
+                            if wt[pc_][k].pop(pp, None):
+                                raise RuntimeError(
+                                    f"freeing phys reg {pp} with live waiters"
+                                )
+                            f._free.append(pp)
+                            f.in_use -= 1
+                        pr = p_pr[head]
+                        if pr != _NO_REG:
+                            oc = 1 - p_ppc[head]
+                            f = files_by_cluster[oc][k]
+                            f._ready[pr] = 0
+                            if wt[oc][k].pop(pr, None):
+                                raise RuntimeError(
+                                    f"freeing phys reg {pr} with live waiters"
+                                )
+                            f._free.append(pr)
+                            f.in_use -= 1
+                    opc = p_op[head]
+                    if (opc == _LOAD or opc == _STORE) and p_mob[head] >= 0:
+                        mob.occupancy -= 1
+                        mob_per_thread[htid] -= 1
+                        ex_store = p_mob[head] == 2
+                        p_mob[head] = -1
+                        if ex_store:
+                            lines = mob_entries[htid]
+                            ml = p_ml[head]
+                            cnt = lines.get(ml, 0)
+                            if cnt <= 1:
+                                lines.pop(ml, None)
+                            else:
+                                lines[ml] = cnt - 1
+                    t.committed += 1
+                    cpt[htid] += 1
+                    if (
+                        not infl
+                        and t.cursor >= t.n_records
+                        and not t.fetch_queue
+                        and not t.wrong_path
+                    ):
+                        self.finished_count += 1
+                    free_append(head)
+                    committed += 1
+                    progress = True
+            self._commit_rr = (rr + 1) % n_threads
+            if committed:
+                self._epoch += committed
+                self._last_commit_cycle = cycle
+                s.committed += committed
+                active = True
+
+            # ================= writeback =================
+            wb = ev_pop(cycle, None)
+            if wb is not None:
+                for key in wb:
+                    sl = key & SLOT_MASK
+                    if p_sq[sl] or p_age[sl] != key >> SLOT_BITS:
+                        continue  # squashed (slot possibly recycled)
+                    if p_op[sl] == _COPY:
+                        # the copy read its source; value crosses a link
+                        icn_pending.append(key)
+                        continue
+                    p_done[sl] = 1
+                    if p_dest[sl] != _NO_REG:
+                        cl_ = p_cl[sl]
+                        k = p_destk[sl]
+                        f = files_by_cluster[cl_][k]
+                        pd = p_pd[sl]
+                        f._ready[pd] = 1
+                        ws = wt[cl_][k].pop(pd, None)
+                        if ws:
+                            for w in ws:
+                                wc = p_wc[w] - 1
+                                p_wc[w] = wc
+                                if wc == 0 and not p_sq[w] and not p_iss[w]:
+                                    wkey = (p_age[w] << SLOT_BITS) | w
+                                    if pend0 is None:
+                                        _heappush(
+                                            heap0 if p_cl[w] == 0 else heap1,
+                                            wkey,
+                                        )
+                                    else:
+                                        (
+                                            pend0 if p_cl[w] == 0 else pend1
+                                        ).append(wkey)
+                    if p_misp[sl] and not p_wp[sl]:
+                        self._soa_resolve_mispredict(sl)
+            fl = fe_pop(cycle, None)
+            if fl:
+                self._epoch += 1  # fills can unblock admission (DCRA, Stall)
+                for tid in fl:
+                    t = threads[tid]
+                    t.l2_pending -= 1
+                    if t.l2_pending == 0:
+                        t.first_l2_miss_cycle = -1
+
+            # ================= copy delivery =================
+            in_flight = icn._in_flight
+            if icn_pending or in_flight:
+                # --- inlined Interconnect.tick over packed keys ---
+                arrived = None
+                if in_flight:
+                    arrived = []
+                    remaining = []
+                    for when, key in in_flight:
+                        if when <= cycle:
+                            sl = key & SLOT_MASK
+                            if not p_sq[sl] and p_age[sl] == key >> SLOT_BITS:
+                                arrived.append(sl)
+                        else:
+                            remaining.append((when, key))
+                    icn._in_flight = remaining
+                launched = 0
+                while icn_pending and launched < icn_links:
+                    key = icn_pending.popleft()
+                    sl = key & SLOT_MASK
+                    if p_sq[sl] or p_age[sl] != key >> SLOT_BITS:
+                        continue
+                    icn._in_flight.append((cycle + icn_lat, key))
+                    icn.transfers += 1
+                    launched += 1
+                icn.queue_wait_cycles += len(icn_pending)
+                if arrived:
+                    for sl in arrived:
+                        p_done[sl] = 1
+                        tc_ = p_pref[sl]
+                        k = p_destk[sl]
+                        f = files_by_cluster[tc_][k]
+                        pd = p_pd[sl]
+                        f._ready[pd] = 1
+                        ws = wt[tc_][k].pop(pd, None)
+                        if ws:
+                            for w in ws:
+                                wc = p_wc[w] - 1
+                                p_wc[w] = wc
+                                if wc == 0 and not p_sq[w] and not p_iss[w]:
+                                    wkey = (p_age[w] << SLOT_BITS) | w
+                                    if pend0 is None:
+                                        _heappush(
+                                            heap0 if p_cl[w] == 0 else heap1,
+                                            wkey,
+                                        )
+                                    else:
+                                        (
+                                            pend0 if p_cl[w] == 0 else pend1
+                                        ).append(wkey)
+                        s.copies_arrived += 1
+                        if p_orph[sl]:
+                            free_append(sl)
+                    active = True
+
+            # ================= issue =================
+            # No hooks inside the envelope, so select and execute fuse
+            # exactly as in the vectorized engine on the pure path
+            # (execution never feeds back into the same cycle's scan, so
+            # inline execution and collect-then-execute are equivalent).
+            # On the compiled path both clusters' scans already ran in
+            # ONE C call; the returned keys run an identical execute loop.
+            c0b0 = c0b1 = c0b2 = c1b0 = c1b1 = c1b2 = False
+            passed0 = passed1 = _NO_PASSED
+            sel6 = None if ck is None else ck.cycle_select(max_scan0, max_scan1)
+            for ci in (0, 1):
+                iq = iq0 if ci == 0 else iq1
+                b0 = b1 = b2 = False
+                passed_keys = _NO_PASSED
+                n_issued = 0
+                if ck is None:
+                    heap = heap0 if ci == 0 else heap1
+                    deferred = iq._deferred
+                    if heap or deferred:
+                        # --- inlined select + port arbitration (keys) ---
+                        iq_pt = iq.per_thread
+                        passed_l = []
+                        di = 0
+                        dn = len(deferred)
+                        scanned = 0
+                        max_scan = max_scan0 if ci == 0 else max_scan1
+                        while scanned < max_scan:
+                            if di < dn:
+                                dkey = deferred[di]
+                                dsl = dkey & SLOT_MASK
+                                if (
+                                    p_sq[dsl]
+                                    or p_iss[dsl]
+                                    or p_age[dsl] != dkey >> SLOT_BITS
+                                ):
+                                    di += 1
+                                    continue
+                                if heap and heap[0] < dkey:
+                                    key = heap[0]
+                                    _heappop(heap)
+                                    sl = key & SLOT_MASK
+                                    if (
+                                        p_sq[sl]
+                                        or p_iss[sl]
+                                        or p_age[sl] != key >> SLOT_BITS
+                                    ):
+                                        continue
+                                else:
+                                    di += 1
+                                    key = dkey
+                                    sl = dsl
+                            elif heap:
+                                key = heap[0]
+                                _heappop(heap)
+                                sl = key & SLOT_MASK
+                                if (
+                                    p_sq[sl]
+                                    or p_iss[sl]
+                                    or p_age[sl] != key >> SLOT_BITS
+                                ):
+                                    continue
+                            else:
+                                break
+                            scanned += 1
+                            pcls = p_pcls[sl]
+                            if pcls == 2:
+                                if b2:
+                                    passed_l.append(key)
+                                    continue
+                                b2 = True
+                            elif not b0:
+                                b0 = True
+                            elif not b1:
+                                b1 = True
+                            elif pcls == 0 and not b2:
+                                b2 = True
+                            else:
+                                passed_l.append(key)
+                                continue
+                            # --- fused _start_execution (port claimed) ---
+                            n_issued += 1
+                            p_iss[sl] = 1
+                            tid = p_tid[sl]
+                            iq_pt[tid] -= 1
+                            t = threads[tid]
+                            t.icount -= 1
+                            opc = p_op[sl]
+                            lat = p_lat[sl]
+                            if opc == _LOAD:
+                                ml = p_ml[sl]
+                                if ml in mob_entries[tid]:
+                                    mob.forwards += 1
+                                    lat += 1
+                                else:
+                                    alat, l2m = mem_access(ml, cycle)
+                                    lat += alat
+                                    if l2m and not p_wp[sl]:
+                                        if t.l2_pending == 0:
+                                            t.first_l2_miss_cycle = cycle
+                                        t.l2_pending += 1
+                                        fk = cycle + lat
+                                        lst = fills.get(fk)
+                                        if lst is None:
+                                            fills[fk] = [tid]
+                                        else:
+                                            lst.append(tid)
+                            elif opc == _STORE:
+                                ml = p_ml[sl]
+                                mem_access(ml, cycle)
+                                p_mob[sl] = 2
+                                lines = mob_entries[tid]
+                                lines[ml] = lines.get(ml, 0) + 1
+                            ek = cycle + lat
+                            lst = events.get(ek)
+                            if lst is None:
+                                events[ek] = [key]
+                            else:
+                                lst.append(key)
+                        if di or passed_l:
+                            iq._deferred = passed_l + deferred[di:]
+                        passed_keys = passed_l
+                elif sel6 is not None:
+                    if ci == 0:
+                        issued_keys = sel6[0]
+                        passed_keys = sel6[1]
+                        bits = sel6[2]
+                    else:
+                        issued_keys = sel6[3]
+                        passed_keys = sel6[4]
+                        bits = sel6[5]
+                    b0 = bits & 1
+                    b1 = bits & 2
+                    b2 = bits & 4
+                    if issued_keys:
+                        # --- _start_execution per issued key (same body
+                        # as the fused pure path above) ---
+                        iq_pt = iq.per_thread
+                        for key in issued_keys:
+                            sl = key & SLOT_MASK
+                            p_iss[sl] = 1
+                            tid = p_tid[sl]
+                            iq_pt[tid] -= 1
+                            t = threads[tid]
+                            t.icount -= 1
+                            opc = p_op[sl]
+                            lat = p_lat[sl]
+                            if opc == _LOAD:
+                                ml = p_ml[sl]
+                                if ml in mob_entries[tid]:
+                                    mob.forwards += 1
+                                    lat += 1
+                                else:
+                                    alat, l2m = mem_access(ml, cycle)
+                                    lat += alat
+                                    if l2m and not p_wp[sl]:
+                                        if t.l2_pending == 0:
+                                            t.first_l2_miss_cycle = cycle
+                                        t.l2_pending += 1
+                                        fk = cycle + lat
+                                        lst = fills.get(fk)
+                                        if lst is None:
+                                            fills[fk] = [tid]
+                                        else:
+                                            lst.append(tid)
+                            elif opc == _STORE:
+                                ml = p_ml[sl]
+                                mem_access(ml, cycle)
+                                p_mob[sl] = 2
+                                lines = mob_entries[tid]
+                                lines[ml] = lines.get(ml, 0) + 1
+                            ek = cycle + lat
+                            lst = events.get(ek)
+                            if lst is None:
+                                events[ek] = [key]
+                            else:
+                                lst.append(key)
+                        n_issued = len(issued_keys)
+                if n_issued:
+                    iq.occupancy -= n_issued
+                    self._epoch += n_issued  # IQ occupancy drops
+                    s.issued += n_issued
+                    s.issue_cycles += 1
+                    active = True
+                if ci == 0:
+                    passed0 = passed_keys
+                    c0b0, c0b1, c0b2 = b0, b1, b2
+                else:
+                    passed1 = passed_keys
+                    c1b0, c1b1, c1b2 = b0, b1, b2
+
+            # workload-imbalance probe (Figure 5), against final port state
+            probed = False
+            if passed0:
+                seen = 0
+                for key in passed0:
+                    sl = key & SLOT_MASK
+                    if p_sq[sl]:
+                        continue
+                    pcls = p_pcls[sl]
+                    bit = 1 << pcls
+                    if seen & bit:
+                        continue
+                    seen |= bit
+                    if pcls == 2:
+                        has_free = not c1b2
+                    elif not c1b0 or not c1b1:
+                        has_free = True
+                    else:
+                        has_free = pcls == 0 and not c1b2
+                    imb[pcls][1 if has_free else 0] += 1
+                    probed = True
+            if passed1:
+                seen = 0
+                for key in passed1:
+                    sl = key & SLOT_MASK
+                    if p_sq[sl]:
+                        continue
+                    pcls = p_pcls[sl]
+                    bit = 1 << pcls
+                    if seen & bit:
+                        continue
+                    seen |= bit
+                    if pcls == 2:
+                        has_free = not c0b2
+                    elif not c0b0 or not c0b1:
+                        has_free = True
+                    else:
+                        has_free = pcls == 0 and not c0b2
+                    imb[pcls][1 if has_free else 0] += 1
+                    probed = True
+            if probed:
+                s.imbalance_cycles += 1
+                active = True
+
+            # ================= rename =================
+            excluded = None
+            sel_left = n_threads
+            first_attempt = True
+            # rename is the only phase that still bumps the epoch this
+            # cycle, so it runs on a local counter (written back below)
+            epoch = self._epoch
+            while True:
+                # --- selection (inlined IcountPolicy.rename_select) ---
+                if icount_sel:
+                    best = None
+                    best_ic = 0
+                    prr = policy._rr
+                    for off in range(n_threads):
+                        t = threads[(prr + off) % n_threads]
+                        if excluded is not None and t.tid in excluded:
+                            continue
+                        if (
+                            t.fetch_queue
+                            and not t.flushed
+                            and not t.gated
+                            and t.rename_blocked_until <= cycle
+                        ):
+                            ic = t.icount
+                            if best is None or ic < best_ic:
+                                best = t
+                                best_ic = ic
+                    if best is not None:
+                        policy._rr = (best.tid + 1) % n_threads
+                    thread = best
+                else:
+                    thread = policy.rename_select(
+                        cycle, _EMPTY_EXCLUDE if excluded is None else excluded
+                    )
+                if first_attempt:
+                    first_attempt = False
+                    self._rename_attempted = thread is not None
+                if thread is None:
+                    break
+                tid = thread.tid
+                fq = thread.fetch_queue
+                rob = thread.rob
+                rob_entries = rob._entries
+                table = thread.rename_table
+                tph = table._phys
+                tcl = table._cluster
+                trp = table._replica
+                infl = thread.inflight
+                tcols = slot_cols[tid]
+                tco = tcols[0]
+                tcd = tcols[1]
+                tcs1 = tcols[2]
+                tcs2 = tcols[3]
+                tcml = tcols[6]
+                tcpcls = tcols[11]
+                tcdk = tcols[12]
+                tclat = tcols[13]
+                renamed_n = 0
+                while renamed_n < rename_width and fq:
+                    entry = fq[0]
+                    if entry & 1:
+                        sl = entry >> 1
+                        genm = p_gen[sl]
+                    else:
+                        # packed trace index: the slot is allocated only
+                        # if this uop actually dispatches
+                        sl = -1
+                        genm = -1
+                    if memo_on:
+                        m = memo_list[tid]
+                        # identity via (fq entry, generation): slot-ref
+                        # entries key on the slot's gen counter (bumped at
+                        # every allocation); record-ref entries carry gen
+                        # -1, sound because the epoch term bumps at every
+                        # squash, so a refetched index can't replay stale
+                        if m[0] == entry and m[1] == genm and m[2] == epoch:
+                            # --- inlined _replay_rename_stall ---
+                            primary = m[3]
+                            if self._replay_cycle != cycle:
+                                self._replay_cycle = cycle
+                                creplays.clear()
+                            creplays.append((tid, primary))
+                            rsc[primary] += 1
+                            if primary == "iq":
+                                s.iq_stalls += 1
+                                s.iq_block_stalls += 1
+                            elif primary == "rf_int" or primary == "rf_fp":
+                                rse[0 if primary == "rf_int" else 1] += 1
+                            break
+                    # non-memoized attempt: no Tier B jump this cycle
+                    self._fresh_cycle = cycle
+                    if not (rob.unbounded or len(rob_entries) < rob.capacity):
+                        rsc["rob"] += 1
+                        if memo_on:
+                            memo_list[tid] = (entry, genm, epoch, "rob")
+                        break
+                    if sl >= 0:
+                        opc = p_op[sl]
+                        s1 = p_s1[sl]
+                        s2 = p_s2[sl]
+                        dest = p_dest[sl]
+                    else:
+                        cur_r = entry >> 1
+                        opc = tco[cur_r]
+                        s1 = tcs1[cur_r]
+                        s2 = tcs2[cur_r]
+                        dest = tcd[cur_r]
+                    if (
+                        opc == _LOAD or opc == _STORE
+                    ) and mob.occupancy >= mob_capacity:
+                        rsc["mob"] += 1
+                        if memo_on:
+                            memo_list[tid] = (entry, genm, epoch, "mob")
+                        break
+
+                    # --- single-pass source resolution ---
+                    if s1 >= 0:
+                        ph1 = tph[s1]
+                        scl1 = tcl[s1]
+                        rep1 = trp[s1]
+                        both1 = ph1 == _READY_EVERYWHERE or rep1 != _NO_REG
+                        if s2 >= 0:
+                            ph2 = tph[s2]
+                            scl2 = tcl[s2]
+                            rep2 = trp[s2]
+                            both2 = ph2 == _READY_EVERYWHERE or rep2 != _NO_REG
+
+                    # --- steering (inlined Steering.preferred_cluster) ---
+                    if forced is not None:
+                        preferred = forced(tid)
+                    else:
+                        rn_c0 = rn_c1 = 0
+                        if s1 >= 0:
+                            if both1:
+                                rn_c0 += 1
+                                rn_c1 += 1
+                            elif scl1 == 0:
+                                rn_c0 += 1
+                            else:
+                                rn_c1 += 1
+                            if s2 >= 0:
+                                if both2:
+                                    rn_c0 += 1
+                                    rn_c1 += 1
+                                elif scl2 == 0:
+                                    rn_c0 += 1
+                                else:
+                                    rn_c1 += 1
+                        occ0 = iq0.occupancy
+                        occ1 = iq1.occupancy
+                        if rn_c0 != rn_c1:
+                            preferred = 0 if rn_c0 > rn_c1 else 1
+                        else:
+                            preferred = 0 if occ0 <= occ1 else 1
+                        if preferred == 0:
+                            if occ0 - occ1 > imb_threshold:
+                                preferred = 1
+                        elif occ1 - occ0 > imb_threshold:
+                            preferred = 0
+
+                    # --- admission (inlined _admission_check) ---
+                    # the reference's two-attempt loop, unrolled: the
+                    # preferred cluster first, then (unless steering
+                    # forces one cluster) the other
+                    cl = preferred
+                    iqn0 = iqn1 = rint = rfp = 0
+                    if cl == 0:
+                        iqn0 = 1
+                    else:
+                        iqn1 = 1
+                    if s1 >= 0:
+                        if not both1 and scl1 != cl:
+                            if scl1 == 0:
+                                iqn0 += 1
+                            else:
+                                iqn1 += 1
+                            if s1 < num_int:
+                                rint += 1
+                            else:
+                                rfp += 1
+                        if s2 >= 0 and s2 != s1 and not both2 and scl2 != cl:
+                            if scl2 == 0:
+                                iqn0 += 1
+                            else:
+                                iqn1 += 1
+                            if s2 < num_int:
+                                rint += 1
+                            else:
+                                rfp += 1
+                    if dest >= 0:
+                        if dest < num_int:
+                            rint += 1
+                        else:
+                            rfp += 1
+                    cause = None
+                    if iqn0 and iq0_cap - iq0.occupancy < iqn0:
+                        cause = "iq"
+                    elif iqn1 and iq1_cap - iq1.occupancy < iqn1:
+                        cause = "iq"
+                    elif not dispatch_trivial and not policy.may_dispatch_group(
+                        tid, [iqn0, iqn1]
+                    ):
+                        cause = "iq"
+                    else:
+                        files = files0 if cl == 0 else files1
+                        if rint:
+                            f = files[0]
+                            if (not f.unbounded and len(f._free) < rint) or (
+                                not alloc_trivial
+                                and not policy.may_alloc_reg(tid, 0, cl, rint)
+                            ):
+                                cause = "rf_int"
+                        if cause is None and rfp:
+                            f = files[1]
+                            if (not f.unbounded and len(f._free) < rfp) or (
+                                not alloc_trivial
+                                and not policy.may_alloc_reg(tid, 1, cl, rfp)
+                            ):
+                                cause = "rf_fp"
+                    first_cause = cause
+                    if cause is None:
+                        chosen = cl
+                    elif forced is not None:
+                        chosen = -1
+                    else:
+                        # second attempt on the other cluster
+                        cl = 1 - preferred
+                        iqn0 = iqn1 = rint = rfp = 0
+                        if cl == 0:
+                            iqn0 = 1
+                        else:
+                            iqn1 = 1
+                        if s1 >= 0:
+                            if not both1 and scl1 != cl:
+                                if scl1 == 0:
+                                    iqn0 += 1
+                                else:
+                                    iqn1 += 1
+                                if s1 < num_int:
+                                    rint += 1
+                                else:
+                                    rfp += 1
+                            if s2 >= 0 and s2 != s1 and not both2 and scl2 != cl:
+                                if scl2 == 0:
+                                    iqn0 += 1
+                                else:
+                                    iqn1 += 1
+                                if s2 < num_int:
+                                    rint += 1
+                                else:
+                                    rfp += 1
+                        if dest >= 0:
+                            if dest < num_int:
+                                rint += 1
+                            else:
+                                rfp += 1
+                        cause = None
+                        if iqn0 and iq0_cap - iq0.occupancy < iqn0:
+                            cause = "iq"
+                        elif iqn1 and iq1_cap - iq1.occupancy < iqn1:
+                            cause = "iq"
+                        elif not dispatch_trivial and not policy.may_dispatch_group(
+                            tid, [iqn0, iqn1]
+                        ):
+                            cause = "iq"
+                        else:
+                            files = files0 if cl == 0 else files1
+                            if rint:
+                                f = files[0]
+                                if (not f.unbounded and len(f._free) < rint) or (
+                                    not alloc_trivial
+                                    and not policy.may_alloc_reg(tid, 0, cl, rint)
+                                ):
+                                    cause = "rf_int"
+                            if cause is None and rfp:
+                                f = files[1]
+                                if (not f.unbounded and len(f._free) < rfp) or (
+                                    not alloc_trivial
+                                    and not policy.may_alloc_reg(tid, 1, cl, rfp)
+                                ):
+                                    cause = "rf_fp"
+                        chosen = cl if cause is None else -1
+
+                    # Figure 4 counter: preferred cluster denied on IQ grounds
+                    if first_cause == "iq":
+                        s.iq_stalls += 1
+
+                    if chosen == -1:
+                        primary = first_cause
+                        rsc[primary] += 1
+                        if primary == "iq":
+                            s.iq_block_stalls += 1
+                        elif primary == "rf_int" or primary == "rf_fp":
+                            rse[0 if primary == "rf_int" else 1] += 1
+                        if memo_on:
+                            memo_list[tid] = (entry, genm, epoch, primary)
+                        break
+
+                    # --- inlined _dispatch_uop (slots) ---
+                    if sl < 0:
+                        # admitted record-ref: allocate and fill its slot
+                        # now.  No lazy-structure scan runs between this
+                        # fill and the age assignment below, so the fetch
+                        # path's ``age = -1`` quarantine is unnecessary.
+                        sl = free_pop()
+                        p_op[sl] = opc
+                        p_dest[sl] = dest
+                        p_s1[sl] = s1
+                        p_s2[sl] = s2
+                        p_seq[sl] = cur_r
+                        p_ml[sl] = tcml[cur_r]
+                        p_lat[sl] = tclat[cur_r]
+                        p_tid[sl] = tid
+                        p_pcls[sl] = tcpcls[cur_r]
+                        p_destk[sl] = tcdk[cur_r]
+                        p_wp[sl] = 0
+                        p_gen[sl] += 1
+                        p_iss[sl] = 0
+                        p_sq[sl] = 0
+                        p_done[sl] = 0
+                        p_misp[sl] = 0
+                        p_orph[sl] = 0
+                    files = files0 if chosen == 0 else files1
+                    wdicts = wt[chosen]
+                    wait = 0
+                    w0 = -1
+                    w1 = -1
+                    if s1 >= 0:
+                        phys1 = (
+                            ph1
+                            if ph1 == _READY_EVERYWHERE or scl1 == chosen
+                            else rep1
+                        )
+                        if phys1 == _NO_REG:
+                            phys1 = self._soa_copy(thread, sl, s1, chosen, table)
+                        if phys1 != _READY_EVERYWHERE:
+                            k = 0 if s1 < num_int else 1
+                            if not files[k]._ready[phys1]:
+                                d = wdicts[k]
+                                lst = d.get(phys1)
+                                if lst is None:
+                                    d[phys1] = [sl]
+                                else:
+                                    lst.append(sl)
+                                w0 = (chosen << 30) | (k << 29) | phys1
+                                wait = 1
+                        if s2 >= 0:
+                            if s2 != s1:
+                                phys2 = (
+                                    ph2
+                                    if ph2 == _READY_EVERYWHERE or scl2 == chosen
+                                    else rep2
+                                )
+                                if phys2 == _NO_REG:
+                                    phys2 = self._soa_copy(
+                                        thread, sl, s2, chosen, table
+                                    )
+                            else:
+                                phys2 = phys1
+                            if phys2 != _READY_EVERYWHERE:
+                                k = 0 if s2 < num_int else 1
+                                if not files[k]._ready[phys2]:
+                                    d = wdicts[k]
+                                    lst = d.get(phys2)
+                                    if lst is None:
+                                        d[phys2] = [sl]
+                                    else:
+                                        lst.append(sl)
+                                    pk = (chosen << 30) | (k << 29) | phys2
+                                    if wait:
+                                        w1 = pk
+                                    else:
+                                        w0 = pk
+                                    wait += 1
+                    p_wc[sl] = wait
+                    p_w0[sl] = w0
+                    p_w1[sl] = w1
+                    p_cl[sl] = chosen
+
+                    if dest >= 0:
+                        k = p_destk[sl]
+                        f = files[k]
+                        fl_ = f._free
+                        if fl_:
+                            phys = fl_.pop()
+                            f._ready[phys] = 0
+                            iu = f.in_use + 1
+                            f.in_use = iu
+                            f.alloc_count += 1
+                            if iu > f.peak_in_use:
+                                f.peak_in_use = iu
+                        else:
+                            phys = f.alloc()  # unbounded growth (or error)
+                        p_pd[sl] = phys
+                        p_pp[sl] = tph[dest]
+                        p_ppc[sl] = tcl[dest]
+                        p_pr[sl] = trp[dest]
+                        tcl[dest] = chosen
+                        tph[dest] = phys
+                        trp[dest] = _NO_REG
+
+                    age = self._age
+                    p_age[sl] = age
+                    self._age = age + 1
+                    if cages is not None:
+                        cages[sl] = age
+                    rob_entries.append(sl)
+                    le = len(rob_entries)
+                    if le > rob.peak:
+                        rob.peak = le
+                    if opc == _LOAD or opc == _STORE:
+                        occ = mob.occupancy + 1
+                        mob.occupancy = occ
+                        mob_per_thread[tid] += 1
+                        p_mob[sl] = 1
+                        if occ > mob.peak:
+                            mob.peak = occ
+                    iq = iq0 if chosen == 0 else iq1
+                    occ = iq.occupancy + 1
+                    iq.occupancy = occ
+                    iq.per_thread[tid] += 1
+                    if occ > iq.peak:
+                        iq.peak = occ
+                    if wait == 0:
+                        akey = (age << SLOT_BITS) | sl
+                        if pend0 is None:
+                            _heappush(heap0 if chosen == 0 else heap1, akey)
+                        else:
+                            (pend0 if chosen == 0 else pend1).append(akey)
+                    infl.append(sl)
+                    thread.icount += 1
+                    epoch += 1  # ROB/MOB/IQ/registers all moved
+                    s.renamed += 1
+                    if p_wp[sl]:
+                        s.wrong_path_renamed += 1
+                    fq.popleft()
+                    renamed_n += 1
+                if renamed_n:
+                    active = True
+                    break
+                # structurally blocked; give the slot away
+                sel_left -= 1
+                if sel_left == 0:
+                    break
+                if excluded is None:
+                    excluded = {tid}
+                else:
+                    excluded.add(tid)
+            self._epoch = epoch
+
+            # ================= fetch =================
+            best = None
+            best_len = -1
+            for t in threads:
+                if t.fetch_blocked_until <= cycle and not t.flushed:
+                    ql = len(t.fetch_queue)
+                    if ql < fq_cap and (t.wrong_path or t.cursor < t.n_records):
+                        if best is None or ql < best_len:
+                            best = t
+                            best_len = ql
+            if best is not None:
+                t = best
+                wrong = t.wrong_path
+                if wrong:
+                    first_pc = t.wp_source.peek_pc()
+                else:
+                    first_pc = slot_cols[t.tid][4][t.cursor]
+                stall = tc_lookup(first_pc)
+                active = True  # the TC lookup moved hits/misses
+                if stall > 0:
+                    t.fetch_blocked_until = cycle + stall
+                else:
+                    fq = t.fetch_queue
+                    fetched = 0
+                    tidl = t.tid
+                    if wrong:
+                        if model_wrong_path:
+                            next_rec = t.wp_source.next_record
+                            moff = t.mem_offset
+                            while fetched < fetch_width and len(fq) < fq_cap:
+                                opcl, dest, src1, src2, _pc, _tk, mem_line = (
+                                    next_rec()
+                                )
+                                sl = free_pop()
+                                p_op[sl] = opcl
+                                p_dest[sl] = dest
+                                p_s1[sl] = src1
+                                p_s2[sl] = src2
+                                p_seq[sl] = -1
+                                p_ml[sl] = mem_line + moff
+                                p_lat[sl] = latency_tbl[opcl]
+                                p_tid[sl] = tidl
+                                p_pcls[sl] = PCT[opcl]
+                                p_destk[sl] = 0 if dest < num_int else 1
+                                p_wp[sl] = 1
+                                p_age[sl] = -1
+                                p_gen[sl] += 1
+                                p_iss[sl] = 0
+                                p_sq[sl] = 0
+                                p_done[sl] = 0
+                                p_misp[sl] = 0
+                                p_orph[sl] = 0
+                                if cages is not None:
+                                    cages[sl] = -1
+                                fq.append((sl << 1) | 1)
+                                fetched += 1
+                            s.wrong_path_fetched += fetched
+                    else:
+                        (
+                            co,
+                            cd,
+                            cs1,
+                            cs2,
+                            cpc,
+                            ct,
+                            cml,
+                            cind,
+                            ctg,
+                            cco,
+                            plain,
+                            cpcls,
+                            cdk,
+                            clat,
+                            cns,
+                        ) = slot_cols[tidl]
+                        cur = t.cursor
+                        nrec = t.n_records
+                        while fetched < fetch_width and len(fq) < fq_cap:
+                            if cur >= nrec:
+                                break
+                            if plain[cur]:
+                                # a whole plain run enters the fetch
+                                # queue as packed trace indices (even
+                                # entries); slots are allocated only if
+                                # the uop dispatches
+                                end = cur + fetch_width - fetched
+                                lim = cur + fq_cap - len(fq)
+                                if lim < end:
+                                    end = lim
+                                lim = cns[cur]
+                                if lim < end:
+                                    end = lim
+                                if nrec < end:
+                                    end = nrec
+                                fq.extend(range(cur << 1, end << 1, 2))
+                                fetched += end - cur
+                                cur = end
+                                continue
+                            # slow path: branch / indirect / complex op —
+                            # needs fetch-time predictor/MROM work, so the
+                            # slot fills now; ``age = -1`` quarantines it
+                            # until rename assigns the real age
+                            sl = free_pop()
+                            opcl = co[cur]
+                            p_op[sl] = opcl
+                            p_dest[sl] = cd[cur]
+                            p_s1[sl] = cs1[cur]
+                            p_s2[sl] = cs2[cur]
+                            p_seq[sl] = cur
+                            p_ml[sl] = cml[cur]
+                            p_lat[sl] = clat[cur]
+                            p_tid[sl] = tidl
+                            p_pcls[sl] = cpcls[cur]
+                            p_destk[sl] = cdk[cur]
+                            p_wp[sl] = 0
+                            p_age[sl] = -1
+                            p_gen[sl] += 1
+                            p_iss[sl] = 0
+                            p_sq[sl] = 0
+                            p_done[sl] = 0
+                            p_misp[sl] = 0
+                            p_orph[sl] = 0
+                            if cages is not None:
+                                cages[sl] = -1
+                            ind = cind[cur]
+                            comp = cco[cur]
+                            pc = cpc[cur]
+                            tk = ct[cur]
+                            tg = ctg[cur]
+                            cur += 1
+                            fq.append((sl << 1) | 1)
+                            fetched += 1
+                            if opcl == _BRANCH:
+                                if ind:
+                                    hit = ipred_update(tidl, pc, tg)
+                                    if not hit:
+                                        p_misp[sl] = 1
+                                        t.wrong_path = True
+                                        break
+                                else:
+                                    predicted = pred_update(tidl, pc, tk)
+                                    if predicted != tk:
+                                        p_misp[sl] = 1
+                                        t.wrong_path = True
+                                        break
+                            elif comp:
+                                t.fetch_blocked_until = cycle + mrom_latency
+                                break
+                        t.cursor = cur
+                        t.fetched_right_path += fetched
+                    s.fetched += fetched
+
+            # ================= end of cycle =================
+            s.cycles += 1
+            if cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
+                raise DeadlockError(
+                    f"no commit for {_WATCHDOG_CYCLES} cycles at cycle {cycle}: "
+                    + "; ".join(repr(t) for t in threads)
+                )
+
+            # ---- fast-forward jump (step_fast post-check) ----
+            if candidate and not active and s.squashed_uops == squash_before:
+                if self._rename_attempted:
+                    # Tier B: every rename attempt was a memoized replay
+                    if (
+                        self._fresh_cycle != cycle
+                        and self._replay_cycle == cycle
+                    ):
+                        self._jump(limit, self._cycle_replays)
+                        cycle = self.cycle
+                else:
+                    self._jump(limit)
+                    cycle = self.cycle
+
+            if warmup and self.finished_count > 0:
+                break
+            if single:
+                break
+        return True
+
+
+class CompiledProcessor(NumpyProcessor):
+    """The slot-pool engine with the select scan compiled to C.
+
+    Attaching the kernel is the only difference: every ready-key push is
+    routed into the kernel's pending lists and the per-cluster select
+    scan runs in C; issued/passed keys come back as Python lists, so the
+    execute loop, imbalance probe, and everything else are literally the
+    same code as the ``numpy`` backend.  When the kernel cannot build
+    (no cffi, no compiler, or ``REPRO_NO_CKERNEL`` set) the attach
+    returns ``None`` and this class IS the ``numpy`` backend — the
+    documented soft-dependency fallback, bit-identical by construction.
+    """
+
+    backend_name = "compiled"
+
+    def _init_soa(self) -> None:
+        super()._init_soa()
+        from repro.core.ckernel import try_build_kernel
+
+        self._kernel = try_build_kernel(
+            self._pipe,
+            tuple(cl.iq.capacity for cl in self.clusters),
+            SLOT_BITS,
+            SLOT_MASK,
+        )
+
+    def kernel_active(self) -> bool:
+        """True when the C select kernel (not the fallback) is in use."""
+        if self._pipe is None and self._soa_ok:
+            self._init_soa()
+        return self._kernel is not None

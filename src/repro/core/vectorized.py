@@ -78,6 +78,175 @@ _HOOK_NAMES = (
 )
 
 
+def make_mem_access(hier):
+    """Build the flattened ``MemoryHierarchy.access`` closure for one run.
+
+    Operation-for-operation transcription (TLB/L1/L2 LRU updates,
+    counters, bus arbitration, fill coalescing); returns
+    ``(latency, l2_miss)``.  Loads use the returned pair, stores ignore
+    it — ``access`` never reads its ``is_store`` flag, so one closure
+    serves both.  Shared by every batched engine (``vectorized``,
+    ``numpy``, ``compiled``) so the transcription exists exactly once.
+    """
+    _dtlb = hier.dtlb
+
+    def mem_access(
+        line,
+        now,
+        hier=hier,
+        l1=hier.l1,
+        l2=hier.l2,
+        dstore=_dtlb._store,
+        d_sets=_dtlb._store._sets,
+        d_n=_dtlb._store.num_sets,
+        d_a=_dtlb._store.assoc,
+        d_lpp=_dtlb._lines_per_page,
+        d_miss=_dtlb.miss_latency,
+        l1_sets=hier.l1._sets,
+        l1_n=hier.l1.num_sets,
+        l1_a=hier.l1.assoc,
+        l2_sets=hier.l2._sets,
+        l2_n=hier.l2.num_sets,
+        l2_a=hier.l2.assoc,
+        l1_lat=hier.config.l1.hit_latency,
+        l2_lat=hier.config.l2.hit_latency,
+        m_lat=hier.config.memory_latency,
+        bus=hier._bus_free,
+        infl_fills=hier._inflight_fills,
+    ):
+        if len(infl_fills) > 64:
+            for ln in [ln for ln, tt in infl_fills.items() if tt <= now]:
+                del infl_fills[ln]
+        page = line // d_lpp
+        ts = d_sets[page % d_n]
+        if page in ts:
+            if ts[-1] != page:
+                ts.remove(page)
+                ts.append(page)
+            dstore.hits += 1
+            lat = l1_lat
+        else:
+            dstore.misses += 1
+            if len(ts) >= d_a:
+                del ts[0]
+                dstore.evictions += 1
+            ts.append(page)
+            lat = l1_lat + d_miss
+        fill_done = infl_fills.get(line)
+        cs = l1_sets[line % l1_n]
+        if fill_done is not None and fill_done > now:
+            hier.coalesced_misses += 1
+            if line in cs:
+                if cs[-1] != line:
+                    cs.remove(line)
+                    cs.append(line)
+                l1.hits += 1
+            else:
+                l1.misses += 1
+                if len(cs) >= l1_a:
+                    del cs[0]
+                    l1.evictions += 1
+                cs.append(line)
+            rem = fill_done - now
+            return (rem if rem > lat else lat), False
+        if line in cs:
+            if cs[-1] != line:
+                cs.remove(line)
+                cs.append(line)
+            l1.hits += 1
+            return lat, False
+        l1.misses += 1
+        if len(cs) >= l1_a:
+            del cs[0]
+            l1.evictions += 1
+        cs.append(line)
+        if len(bus) == 2:
+            bi = 0 if bus[0] <= bus[1] else 1
+        else:
+            bi = min(range(len(bus)), key=bus.__getitem__)
+        wait = bus[bi] - now
+        if wait < 0:
+            wait = 0
+        bus[bi] = now + wait + 1
+        hier.bus_wait_cycles += wait
+        lat += wait
+        cs2 = l2_sets[line % l2_n]
+        if line in cs2:
+            if cs2[-1] != line:
+                cs2.remove(line)
+                cs2.append(line)
+            l2.hits += 1
+            lat += l2_lat
+            infl_fills[line] = now + lat
+            return lat, False
+        l2.misses += 1
+        if len(cs2) >= l2_a:
+            del cs2[0]
+            l2.evictions += 1
+        cs2.append(line)
+        lat += l2_lat + m_lat
+        infl_fills[line] = now + lat
+        return lat, True
+
+    return mem_access
+
+
+def make_tc_lookup(tc):
+    """Build the flattened ``TraceCache.lookup`` closure (ITLB + TC line
+    access) for one run; shared by every batched engine."""
+    _itlb = tc._itlb
+
+    def tc_lookup(
+        pc,
+        tc=tc,
+        istore=_itlb._store,
+        i_sets=_itlb._store._sets,
+        i_n=_itlb._store.num_sets,
+        i_a=_itlb._store.assoc,
+        i_lpp=_itlb._lines_per_page,
+        i_miss=_itlb.miss_latency,
+        tlines=tc._lines,
+        t_sets=tc._lines._sets,
+        t_n=tc._lines.num_sets,
+        t_a=tc._lines.assoc,
+        line_uops=tc.line_uops,
+        fill_lat=tc.fill_latency,
+    ):
+        page = pc // i_lpp
+        ts = i_sets[page % i_n]
+        if page in ts:
+            if ts[-1] != page:
+                ts.remove(page)
+                ts.append(page)
+            istore.hits += 1
+            itlb_lat = 0
+        else:
+            istore.misses += 1
+            if len(ts) >= i_a:
+                del ts[0]
+                istore.evictions += 1
+            ts.append(page)
+            itlb_lat = i_miss
+        line = pc // line_uops
+        ls = t_sets[line % t_n]
+        if line in ls:
+            if ls[-1] != line:
+                ls.remove(line)
+                ls.append(line)
+            tlines.hits += 1
+            tc.hits += 1
+            return itlb_lat
+        tlines.misses += 1
+        if len(ls) >= t_a:
+            del ls[0]
+            tlines.evictions += 1
+        ls.append(line)
+        tc.misses += 1
+        return fill_lat + itlb_lat
+
+    return tc_lookup
+
+
 class VectorizedProcessor(Processor):
     """Processor whose :meth:`run_loop` is the flattened SoA engine."""
 
@@ -250,112 +419,7 @@ class VectorizedProcessor(Processor):
         mob_entries = self.mob._entries
         mob_per_thread = self.mob.per_thread
         hier = self.mem
-        _dtlb = hier.dtlb
-
-        def mem_access(
-            line,
-            now,
-            hier=hier,
-            l1=hier.l1,
-            l2=hier.l2,
-            dstore=_dtlb._store,
-            d_sets=_dtlb._store._sets,
-            d_n=_dtlb._store.num_sets,
-            d_a=_dtlb._store.assoc,
-            d_lpp=_dtlb._lines_per_page,
-            d_miss=_dtlb.miss_latency,
-            l1_sets=hier.l1._sets,
-            l1_n=hier.l1.num_sets,
-            l1_a=hier.l1.assoc,
-            l2_sets=hier.l2._sets,
-            l2_n=hier.l2.num_sets,
-            l2_a=hier.l2.assoc,
-            l1_lat=hier.config.l1.hit_latency,
-            l2_lat=hier.config.l2.hit_latency,
-            m_lat=hier.config.memory_latency,
-            bus=hier._bus_free,
-            infl_fills=hier._inflight_fills,
-        ):
-            """Flattened ``MemoryHierarchy.access`` -> ``(latency, l2_miss)``.
-
-            Operation-for-operation transcription (TLB/L1/L2 LRU updates,
-            counters, bus arbitration, fill coalescing); loads use the
-            returned pair, stores ignore it — ``access`` never reads its
-            ``is_store`` flag, so one closure serves both.
-            """
-            if len(infl_fills) > 64:
-                for ln in [ln for ln, tt in infl_fills.items() if tt <= now]:
-                    del infl_fills[ln]
-            page = line // d_lpp
-            ts = d_sets[page % d_n]
-            if page in ts:
-                if ts[-1] != page:
-                    ts.remove(page)
-                    ts.append(page)
-                dstore.hits += 1
-                lat = l1_lat
-            else:
-                dstore.misses += 1
-                if len(ts) >= d_a:
-                    del ts[0]
-                    dstore.evictions += 1
-                ts.append(page)
-                lat = l1_lat + d_miss
-            fill_done = infl_fills.get(line)
-            cs = l1_sets[line % l1_n]
-            if fill_done is not None and fill_done > now:
-                hier.coalesced_misses += 1
-                if line in cs:
-                    if cs[-1] != line:
-                        cs.remove(line)
-                        cs.append(line)
-                    l1.hits += 1
-                else:
-                    l1.misses += 1
-                    if len(cs) >= l1_a:
-                        del cs[0]
-                        l1.evictions += 1
-                    cs.append(line)
-                rem = fill_done - now
-                return (rem if rem > lat else lat), False
-            if line in cs:
-                if cs[-1] != line:
-                    cs.remove(line)
-                    cs.append(line)
-                l1.hits += 1
-                return lat, False
-            l1.misses += 1
-            if len(cs) >= l1_a:
-                del cs[0]
-                l1.evictions += 1
-            cs.append(line)
-            if len(bus) == 2:
-                bi = 0 if bus[0] <= bus[1] else 1
-            else:
-                bi = min(range(len(bus)), key=bus.__getitem__)
-            wait = bus[bi] - now
-            if wait < 0:
-                wait = 0
-            bus[bi] = now + wait + 1
-            hier.bus_wait_cycles += wait
-            lat += wait
-            cs2 = l2_sets[line % l2_n]
-            if line in cs2:
-                if cs2[-1] != line:
-                    cs2.remove(line)
-                    cs2.append(line)
-                l2.hits += 1
-                lat += l2_lat
-                infl_fills[line] = now + lat
-                return lat, False
-            l2.misses += 1
-            if len(cs2) >= l2_a:
-                del cs2[0]
-                l2.evictions += 1
-            cs2.append(line)
-            lat += l2_lat + m_lat
-            infl_fills[line] = now + lat
-            return lat, True
+        mem_access = make_mem_access(hier)
 
         icn = self.icn
         icn_pending = icn._pending
@@ -363,56 +427,7 @@ class VectorizedProcessor(Processor):
         pred_update = self.predictor.update
         ipred_update = self.ipredictor.update
         tc = self.tc
-        _itlb = tc._itlb
-
-        def tc_lookup(
-            pc,
-            tc=tc,
-            istore=_itlb._store,
-            i_sets=_itlb._store._sets,
-            i_n=_itlb._store.num_sets,
-            i_a=_itlb._store.assoc,
-            i_lpp=_itlb._lines_per_page,
-            i_miss=_itlb.miss_latency,
-            tlines=tc._lines,
-            t_sets=tc._lines._sets,
-            t_n=tc._lines.num_sets,
-            t_a=tc._lines.assoc,
-            line_uops=tc.line_uops,
-            fill_lat=tc.fill_latency,
-        ):
-            """Flattened ``TraceCache.lookup`` (ITLB + TC line access)."""
-            page = pc // i_lpp
-            ts = i_sets[page % i_n]
-            if page in ts:
-                if ts[-1] != page:
-                    ts.remove(page)
-                    ts.append(page)
-                istore.hits += 1
-                itlb_lat = 0
-            else:
-                istore.misses += 1
-                if len(ts) >= i_a:
-                    del ts[0]
-                    istore.evictions += 1
-                ts.append(page)
-                itlb_lat = i_miss
-            line = pc // line_uops
-            ls = t_sets[line % t_n]
-            if line in ls:
-                if ls[-1] != line:
-                    ls.remove(line)
-                    ls.append(line)
-                tlines.hits += 1
-                tc.hits += 1
-                return itlb_lat
-            tlines.misses += 1
-            if len(ls) >= t_a:
-                del ls[0]
-                tlines.evictions += 1
-            ls.append(line)
-            tc.misses += 1
-            return fill_lat + itlb_lat
+        tc_lookup = make_tc_lookup(tc)
 
         latency_tbl = self._latency
         fetch_cols = self._fetch_cols

@@ -68,9 +68,18 @@ FF_FACTOR = {"mem": 0.75, "mix": 0.85, "st": 0.95, "ilp": 1.0}
 
 #: Cycle-engine multipliers: the flattened SoA engine runs the same
 #: simulation in roughly half the time of the reference interpreter
-#: (see benchmarks/results/engine_speed.json).  Calibration refines this
-#: per bucket; only the relative order matters for LPT.
-BACKEND_FACTOR = {"reference": 1.0, "vectorized": 0.55}
+#: (see benchmarks/results/engine_speed.json).  The batched slot-pool
+#: engine ("numpy") lands slightly behind vectorized on short-queue ILP
+#: runs and roughly even on stall-heavy ones; the compiled kernel
+#: ("compiled") recovers the gap where ready-queue scans dominate.
+#: Calibration refines this per bucket; only the relative order matters
+#: for LPT.
+BACKEND_FACTOR = {
+    "reference": 1.0,
+    "vectorized": 0.55,
+    "numpy": 0.60,
+    "compiled": 0.58,
+}
 
 #: EWMA weight of a new observation against the bucket's current rate.
 ALPHA = 0.4

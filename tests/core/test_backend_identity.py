@@ -1,22 +1,39 @@
-"""Cross-backend bit-identity: ``vectorized`` vs the ``reference`` oracle.
+"""Cross-backend bit-identity: every engine vs the ``reference`` oracle.
 
-The vectorized engine re-implements the cycle loop as one flattened
-function over structure-of-arrays state (:mod:`repro.core.vectorized`);
-its contract is that *nothing observable changes*: every stats counter,
-every telemetry artifact byte, under every policy, with fast-forward on
-or off.  These tests are the gate on that contract — the same pattern the
-fast-forward identity suite pins for step-vs-jump, applied across the
-backend seam.
+The fast engines re-implement the cycle loop — ``vectorized`` as one
+flattened function over structure-of-arrays trace columns
+(:mod:`repro.core.vectorized`), ``numpy`` as the batched slot-pool engine
+(:mod:`repro.core.npengine`), ``compiled`` as the slot-pool engine with a
+cffi-compiled wakeup/select kernel (:mod:`repro.core.ckernel`).  Their
+shared contract is that *nothing observable changes*: every stats
+counter, every telemetry artifact byte, under every policy, with
+fast-forward on or off.  These tests are the gate on that contract — the
+same pattern the fast-forward identity suite pins for step-vs-jump,
+applied across the backend seam.
+
+Every test below parametrizes over the registered non-reference
+backends, so registering a new engine in :mod:`repro.core.backends`
+automatically subjects it to the whole gate.  Reference runs are
+memoized per scenario (they are the slow half of every comparison and
+identical across the backends being checked).
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.core.backends import BACKENDS, OPTIONAL_BACKENDS, resolve_backend
 from repro.core.simulator import run_simulation
 from repro.policies import POLICY_NAMES, make_policy
 from repro.telemetry import Telemetry, TelemetryConfig
 from repro.trace.synthesis import TraceProfile, generate_trace
+
+#: Every registered engine that must match the oracle.
+ALT_BACKENDS = [b for b in BACKENDS if b != "reference"]
+
+#: Reference results memoized per scenario tag (traces/config are
+#: session-scoped fixtures, so a tag fully determines the run).
+_ref_memo: dict[str, object] = {}
 
 
 def _policy(name):
@@ -39,22 +56,32 @@ def _run(config, policy_name, traces, backend, fast_forward, telemetry=None, **k
     )
 
 
-def _assert_identical(ref, vec):
-    assert vec.cycles == ref.cycles
-    assert vec.committed == ref.committed
-    assert vec.committed_per_thread == ref.committed_per_thread
-    assert vec.ipc == ref.ipc
-    assert vec.stats == ref.stats
+def _ref(tag, config, policy_name, traces, fast_forward, **kw):
+    got = _ref_memo.get(tag)
+    if got is None:
+        got = _ref_memo[tag] = _run(
+            config, policy_name, traces, "reference", fast_forward, **kw
+        )
+    return got
 
 
+def _assert_identical(ref, got):
+    assert got.cycles == ref.cycles
+    assert got.committed == ref.committed
+    assert got.committed_per_thread == ref.committed_per_thread
+    assert got.ipc == ref.ipc
+    assert got.stats == ref.stats
+
+
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
 @pytest.mark.parametrize("ff", [False, True], ids=["step", "ff"])
 @pytest.mark.parametrize("policy", POLICY_NAMES)
-def test_bit_identical_stats(config, policy, ff, ilp_trace, mem_trace):
-    """Every policy, ff on and off: identical full stats dicts."""
+def test_bit_identical_stats(config, policy, ff, backend, ilp_trace, mem_trace):
+    """Every policy, ff on and off, every engine: identical full stats."""
     traces = [ilp_trace, mem_trace]
-    ref = _run(config, policy, traces, "reference", ff)
-    vec = _run(config, policy, traces, "vectorized", ff)
-    _assert_identical(ref, vec)
+    ref = _ref(f"stats|{policy}|{ff}", config, policy, traces, ff)
+    got = _run(config, policy, traces, backend, ff)
+    _assert_identical(ref, got)
 
 
 @pytest.mark.parametrize("ff", [False, True], ids=["step", "ff"])
@@ -72,6 +99,27 @@ def test_bit_identical_telemetry(config, policy, ff, mem_trace, ilp_trace_b, tmp
     _assert_identical(results["reference"], results["vectorized"])
     assert out["vectorized"].keys() == out["reference"].keys()
     for name, path in out["vectorized"].items():
+        assert path.read_bytes() == out["reference"][name].read_bytes(), (
+            f"{name} telemetry export differs between backends"
+        )
+
+
+@pytest.mark.parametrize("backend", [b for b in ALT_BACKENDS if b != "vectorized"])
+def test_telemetry_delegation_identical(config, backend, mem_trace, ilp_trace_b,
+                                        tmp_path):
+    """The slot-pool engines serve telemetry runs through their envelope
+    seam (delegating to the flattened engine); the artifacts must still be
+    byte-identical to the oracle's."""
+    traces = [mem_trace, ilp_trace_b]
+    out = {}
+    results = {}
+    for b in ("reference", backend):
+        tel = Telemetry(TelemetryConfig(sample_interval=512))
+        results[b] = _run(config, "icount", traces, b, True, telemetry=tel)
+        out[b] = tel.export(tmp_path / b, meta={"run": "backend-identity"})
+    _assert_identical(results["reference"], results[backend])
+    assert out[backend].keys() == out["reference"].keys()
+    for name, path in out[backend].items():
         assert path.read_bytes() == out["reference"][name].read_bytes(), (
             f"{name} telemetry export differs between backends"
         )
@@ -100,56 +148,116 @@ def feature_trace():
     return generate_trace(profile, seed=7, n_uops=3000, kind="ilp")
 
 
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
 @pytest.mark.parametrize("policy", ["icount", "flush+", "cdprf"])
-def test_identical_with_indirect_and_mrom(config, policy, feature_trace, mem_trace):
+def test_identical_with_indirect_and_mrom(config, policy, backend, feature_trace,
+                                          mem_trace):
     """Fetch slow paths (indirect predictor, MROM serialization) and the
     squash-heavy wrong-path machinery stay identical."""
     traces = [feature_trace, mem_trace]
-    ref = _run(config, policy, traces, "reference", True)
-    vec = _run(config, policy, traces, "vectorized", True)
-    _assert_identical(ref, vec)
+    ref = _ref(f"feat|{policy}", config, policy, traces, True)
+    got = _run(config, policy, traces, backend, True)
+    _assert_identical(ref, got)
 
 
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
 @pytest.mark.parametrize("stop", ["first_done", "all_done", "cycles"])
-def test_identical_across_stop_modes(config, stop, ilp_trace, ilp_trace_b):
+def test_identical_across_stop_modes(config, stop, backend, ilp_trace, ilp_trace_b):
     kw = {"stop": stop}
     if stop == "cycles":
         kw["max_cycles"] = 5_000
-    ref = _run(config, "stall", [ilp_trace, ilp_trace_b], "reference", True, **kw)
-    vec = _run(config, "stall", [ilp_trace, ilp_trace_b], "vectorized", True, **kw)
-    _assert_identical(ref, vec)
+    traces = [ilp_trace, ilp_trace_b]
+    ref = _ref(f"stop|{stop}", config, "stall", traces, True, **kw)
+    got = _run(config, "stall", traces, backend, True, **kw)
+    _assert_identical(ref, got)
 
 
-def test_identical_single_thread(config, mem_trace):
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_identical_single_thread(config, backend, mem_trace):
     cfg = config.with_threads(1)
-    ref = _run(cfg, "icount", [mem_trace], "reference", True, stop="all_done")
-    vec = _run(cfg, "icount", [mem_trace], "vectorized", True, stop="all_done")
-    _assert_identical(ref, vec)
+    ref = _ref("st", cfg, "icount", [mem_trace], True, stop="all_done")
+    got = _run(cfg, "icount", [mem_trace], backend, True, stop="all_done")
+    _assert_identical(ref, got)
 
 
-def test_identical_no_warmup_no_prewarm(config, ilp_trace, mem_trace):
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_identical_no_warmup_no_prewarm(config, backend, ilp_trace, mem_trace):
     """Cold start (no warmup phase, cold caches) — the run_loop seam's
     single-phase path."""
-    for kw in ({"warmup_uops": 0, "prewarm_caches": False},):
-        ref = _run(config, "cssp", [ilp_trace, mem_trace], "reference", True, **kw)
-        vec = _run(config, "cssp", [ilp_trace, mem_trace], "vectorized", True, **kw)
-        _assert_identical(ref, vec)
+    kw = {"warmup_uops": 0, "prewarm_caches": False}
+    traces = [ilp_trace, mem_trace]
+    ref = _ref("cold", config, "cssp", traces, True, **kw)
+    got = _run(config, "cssp", traces, backend, True, **kw)
+    _assert_identical(ref, got)
 
 
-def test_identical_unbounded_machine(unbounded_config, ilp_trace, mem_trace):
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_identical_unbounded_machine(unbounded_config, backend, ilp_trace, mem_trace):
     """Figure 2's unbounded-resource machine grows register files on the
     slow path; both backends must grow identically."""
-    ref = _run(unbounded_config, "icount", [ilp_trace, mem_trace], "reference", True)
-    vec = _run(unbounded_config, "icount", [ilp_trace, mem_trace], "vectorized", True)
-    _assert_identical(ref, vec)
+    traces = [ilp_trace, mem_trace]
+    ref = _ref("unbounded", unbounded_config, "icount", traces, True)
+    got = _run(unbounded_config, "icount", traces, backend, True)
+    _assert_identical(ref, got)
 
 
-def test_vectorized_processor_reports_backend(config, ilp_trace, mem_trace):
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_identical_under_pool_growth(config, backend, monkeypatch, ilp_trace,
+                                     mem_trace):
+    """A deliberately tiny slot pool forces mid-run grow()/kernel-rebind
+    cycles; results must not depend on pool capacity."""
+    from repro.core import npengine
+
+    monkeypatch.setattr(npengine.NumpyProcessor, "_pool_capacity", lambda self: 64)
+    traces = [ilp_trace, mem_trace]
+    ref = _ref("stats|icount|True", config, "icount", traces, True)
+    got = _run(config, "icount", traces, backend, True)
+    _assert_identical(ref, got)
+
+
+def test_identical_without_compiled_kernel(config, monkeypatch, ilp_trace, mem_trace):
+    """``REPRO_NO_CKERNEL`` forces the compiled backend onto its pure
+    fallback; behaviour must not change."""
+    traces = [ilp_trace, mem_trace]
+    ref = _ref("stats|icount|True", config, "icount", traces, True)
+    monkeypatch.setenv("REPRO_NO_CKERNEL", "1")
+    got = _run(config, "icount", traces, "compiled", True)
+    _assert_identical(ref, got)
+
+
+def test_processors_report_backend(config, ilp_trace, mem_trace):
     from repro.core.backends import make_processor
 
-    proc = make_processor("vectorized", config, make_policy("icount"),
-                          [ilp_trace, mem_trace])
-    assert proc.backend_name == "vectorized"
-    ref = make_processor("reference", config, make_policy("icount"),
-                         [ilp_trace, mem_trace])
-    assert ref.backend_name == "reference"
+    for backend in BACKENDS:
+        proc = make_processor(backend, config, make_policy("icount"),
+                              [ilp_trace, mem_trace])
+        assert proc.backend_name == backend
+
+
+def test_unknown_backend_fails_fast():
+    """A typo'd name raises immediately and the message names every
+    registered backend (not a silent fallback)."""
+    with pytest.raises(ValueError) as exc:
+        resolve_backend("vectroized")
+    msg = str(exc.value)
+    assert "vectroized" in msg
+    for name in BACKENDS:
+        assert name in msg
+
+
+def test_unknown_backend_from_env_names_source(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "turbo")
+    with pytest.raises(ValueError) as exc:
+        resolve_backend(None)
+    assert "REPRO_BACKEND" in str(exc.value)
+
+
+def test_unknown_backend_error_notes_optional_backends(monkeypatch):
+    """With the kernel toolchain unavailable, the selection error also
+    says the optional backend is degraded (and why)."""
+    monkeypatch.setenv("REPRO_NO_CKERNEL", "1")
+    with pytest.raises(ValueError) as exc:
+        resolve_backend("nope")
+    msg = str(exc.value)
+    for opt in OPTIONAL_BACKENDS:
+        assert f"[{opt}:" in msg
