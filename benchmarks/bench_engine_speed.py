@@ -282,6 +282,28 @@ def bench_cycle_loop_mem_bound_compiled(benchmark, speed_log):
                      200_000)
 
 
+def bench_cycle_loop_icount_cloop(benchmark, speed_log):
+    """The ILP pair with the whole cycle loop resident in C; the ratio to
+    ``cycle_loop_icount_vectorized`` is the tentpole number for the
+    whole-loop engine (ISSUE 10 target: >=3x)."""
+    _bench_slot_pool(benchmark, speed_log, "cloop", "cycle_loop_icount_cloop",
+                     "icount", _traces(), 100_000)
+
+
+def bench_cycle_loop_mem_bound_cloop(benchmark, speed_log):
+    _bench_slot_pool(benchmark, speed_log, "cloop",
+                     "cycle_loop_mem_bound_cloop", "icount", _mem_traces(),
+                     200_000)
+
+
+def bench_cycle_loop_cdprf_cloop(benchmark, speed_log):
+    """CDPRF is outside the C policy table, so this measures the cloop
+    backend's *delegation* path (the inherited compiled/numpy chain) —
+    recorded so the table shows what non-C policies pay."""
+    _bench_slot_pool(benchmark, speed_log, "cloop", "cycle_loop_cdprf_cloop",
+                     "cdprf", _traces(), 100_000)
+
+
 def bench_cycle_loop_cdprf_numpy(benchmark, speed_log):
     _bench_slot_pool(benchmark, speed_log, "numpy", "cycle_loop_cdprf_numpy",
                      "cdprf", _traces(), 100_000)

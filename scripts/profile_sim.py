@@ -11,7 +11,10 @@ flag degrades to a clear message instead of an ImportError).
 
 With ``--compare``, profiles the same simulation once per backend and
 prints a side-by-side cumulative-time table — the quickest way to see
-*where* one engine spends time the others don't.
+*where* one engine spends time the others don't.  Backends that run the
+machine in bounded compiled regions (``cloop``) also report their
+region-exit tallies, so a comparison shows how often the kernel
+re-entered Python and why.
 
 Examples::
 
@@ -84,6 +87,14 @@ def line_profile(args, run) -> int:
     backend = resolve_backend(args.backend)
     if backend == "vectorized":
         lp.add_function(vectorized.VectorizedProcessor.run_loop)
+    elif backend == "cloop":
+        from repro.core import cloop as cloop_mod
+
+        # the whole loop lives in C; the Python time worth line-profiling
+        # is context construction/marshal and the per-region export
+        lp.add_function(cloop_mod.CloopProcessor._region)
+        lp.add_function(cloop_mod._CloopContext.__init__)
+        lp.add_function(cloop_mod._CloopContext.export)
     elif backend in ("numpy", "compiled"):
         lp.add_function(npengine.NumpyProcessor._slot_loop)
     else:
@@ -99,6 +110,14 @@ def line_profile(args, run) -> int:
     lp.runcall(run)
     lp.print_stats()
     return 0
+
+
+def _region_exits_line(proc) -> str | None:
+    """``"limit=3 done=1 watchdog=0"`` for region-driven backends, else None."""
+    exits = getattr(proc, "region_exits", None)
+    if exits is None:
+        return None
+    return " ".join(f"{reason}={count}" for reason, count in exits.items())
 
 
 def _func_label(func, width=44) -> str:
@@ -125,7 +144,10 @@ def compare(args) -> int:
         proc = prof.runcall(run)
         wall = time.perf_counter() - t0
         st = pstats.Stats(prof)
-        summary.append((backend, wall, proc.stats.cycles, proc.stats.committed))
+        summary.append(
+            (backend, wall, proc.stats.cycles, proc.stats.committed,
+             _region_exits_line(proc))
+        )
         tops[backend] = sorted(
             ((func, stat[3]) for func, stat in st.stats.items()),
             key=lambda kv: -kv[1],
@@ -135,9 +157,12 @@ def compare(args) -> int:
           f"ff={not args.no_ff}\n")
     print(f"{'backend':<12} {'wall ms':>9} {'cycles':>9} {'committed':>10}")
     base = summary[0][1]
-    for backend, wall, cycles, committed in summary:
+    for backend, wall, cycles, committed, _ in summary:
         rel = f"  ({wall / base:4.2f}x)" if backend != summary[0][0] else ""
         print(f"{backend:<12} {wall * 1e3:9.2f} {cycles:9d} {committed:10d}{rel}")
+    for backend, _, _, _, exits in summary:
+        if exits is not None:
+            print(f"\n{backend} region exits: {exits}")
 
     colw = 54
     print(f"\n== top {args.top} by cumtime, side by side ==")
@@ -198,6 +223,9 @@ def main(argv=None) -> int:
 
     print(f"backend={backend} policy={args.policy} kind={args.kind} "
           f"cycles={proc.stats.cycles} committed={proc.stats.committed}")
+    exits = _region_exits_line(proc)
+    if exits is not None:
+        print(f"region exits: {exits}")
     print(f"pstats artifact: {out}\n")
     stats = pstats.Stats(prof, stream=sys.stdout)
     for order in ("cumulative", "tottime"):

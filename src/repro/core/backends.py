@@ -26,6 +26,13 @@ Registered engines:
     a *soft* dependency: when cffi or a C compiler is missing — or
     ``REPRO_NO_CKERNEL`` is set — the backend silently runs the pure
     Python kernel and remains bit-identical.
+``cloop``
+    the whole-loop compiled engine: the entire cycle loop runs in one
+    resident C kernel against the slot-pool columns, re-entering Python
+    only at observable-event boundaries (:mod:`repro.core.cloop`).
+    Icount and the trivial-admission family run natively in a C policy
+    table; everything else — and any environment without the toolchain
+    — delegates to the ``compiled``/``numpy`` chain, bit-identical.
 
 Selection precedence: explicit ``backend=`` argument >
 ``REPRO_BACKEND`` environment variable > :data:`DEFAULT_BACKEND`.
@@ -46,12 +53,12 @@ if TYPE_CHECKING:  # pragma: no cover
 _ENV_VAR = "REPRO_BACKEND"
 
 #: Registered backend names, in oracle-to-fastest order.
-BACKENDS: tuple[str, ...] = ("reference", "vectorized", "numpy", "compiled")
+BACKENDS: tuple[str, ...] = ("reference", "vectorized", "numpy", "compiled", "cloop")
 
 #: Backends whose full speed depends on an optional toolchain; they
 #: still *run* without it (pure-Python fallback), but selection errors
 #: report the degradation so users aren't surprised by the numbers.
-OPTIONAL_BACKENDS: tuple[str, ...] = ("compiled",)
+OPTIONAL_BACKENDS: tuple[str, ...] = ("compiled", "cloop")
 
 DEFAULT_BACKEND = "vectorized"
 
@@ -66,6 +73,7 @@ def optional_backend_notes() -> dict[str, str]:
     reason = kernel_unavailable_reason()
     if reason:
         notes["compiled"] = f"runs with pure-Python kernel: {reason}"
+        notes["cloop"] = f"runs on the pure slot-pool engine: {reason}"
     return notes
 
 
@@ -121,6 +129,10 @@ def processor_class(backend: str) -> "type[Processor]":
         from repro.core.npengine import CompiledProcessor
 
         return CompiledProcessor
+    if backend == "cloop":
+        from repro.core.cloop import CloopProcessor
+
+        return CloopProcessor
     if backend == "reference":
         from repro.core.processor import Processor
 

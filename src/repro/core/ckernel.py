@@ -8,9 +8,14 @@ which makes it the natural (and only) candidate for compilation.
 
 The toolchain story: this environment has no numba, Cython, or mypyc,
 but it does have ``cffi`` and a C compiler, so the kernel is ~180 lines
-of C compiled **on demand** into a shared library under the system temp
-directory (never inside the repository), loaded in ABI mode.  The build
-is content-hashed, so it runs once per machine per kernel version.
+of C compiled **on demand** into a shared library under a persistent
+per-user cache directory (``REPRO_CKERNEL_CACHE``, default
+``~/.cache/repro/ckernel``; never inside the repository), loaded in ABI
+mode.  The build is content-hashed and file-locked, so it runs once per
+machine per kernel version even with concurrent sweep workers.  The
+build/load machinery here (:func:`build_shared_lib`,
+:func:`load_shared_lib`) is shared with the whole-loop engine
+(:mod:`repro.core.cloop`).
 
 It is a *soft* dependency by design:
 
@@ -50,6 +55,7 @@ import sys
 import tempfile
 
 _ENV_DISABLE = "REPRO_NO_CKERNEL"
+_ENV_CACHE = "REPRO_CKERNEL_CACHE"
 
 _C_SOURCE = r"""
 typedef long long i64;
@@ -258,53 +264,120 @@ def kernel_unavailable_reason() -> str | None:
     return None
 
 
-def _build_lib():
-    """Compile (or reuse) the shared library; returns ``(lib, ffi)``.
+def _cache_dir() -> str:
+    """Directory compiled kernels persist in across runs and processes.
 
-    The library lands in the system temp directory keyed by a content
-    hash of the C source, so rebuilds only happen when the kernel
-    changes — and never write inside the repository.
+    ``REPRO_CKERNEL_CACHE`` overrides; the default is a per-user cache
+    under ``~/.cache/repro`` (XDG-style, honouring ``XDG_CACHE_HOME``)
+    so fresh shells and sweep workers reuse one build instead of
+    recompiling into a session temp dir.  Falls back to the system temp
+    directory when the cache dir cannot be created (read-only $HOME).
     """
-    global _build_result
-    if _build_result is not None:
-        if isinstance(_build_result, str):
-            raise RuntimeError(_build_result)
-        return _build_result
+    override = os.environ.get(_ENV_CACHE)
+    if override:
+        path = override
+    else:
+        xdg = os.environ.get("XDG_CACHE_HOME")
+        base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+        path = os.path.join(base, "repro", "ckernel")
+    try:
+        os.makedirs(path, exist_ok=True)
+        return path
+    except OSError:
+        return tempfile.gettempdir()
+
+
+def build_shared_lib(source: str, stem: str) -> str:
+    """Compile ``source`` (or reuse a cached build); return the ``.so`` path.
+
+    The library lands in :func:`_cache_dir` keyed by a content hash of
+    the C source, so rebuilds only happen when the kernel changes — and
+    never write inside the repository.  Concurrent builders (parallel
+    sweep workers on a cold cache) serialize on a file lock; the final
+    publish is an atomic rename either way, so a lock-less filesystem
+    degrades to at-worst-duplicated work, never a torn library.
+    """
+    cc = _find_compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
+    tag = hashlib.sha256(source.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    ext = ".dylib" if sys.platform == "darwin" else ".so"
+    lib_path = os.path.join(cache, f"{stem}_{tag}{ext}")
+    if os.path.exists(lib_path):
+        return lib_path
+    lock_path = lib_path + ".lock"
+    lock_fd = None
+    try:
+        try:
+            import fcntl
+
+            lock_fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(lock_fd, fcntl.LOCK_EX)
+        except (ImportError, OSError):
+            lock_fd = None  # no flock here; atomic rename still protects us
+        if os.path.exists(lib_path):  # lost the race; winner already built
+            return lib_path
+        src_path = os.path.join(cache, f"{stem}_{tag}.c")
+        with open(src_path, "w") as f:
+            f.write(source)
+        build_path = lib_path + f".build-{os.getpid()}"
+        subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", "-o", build_path, src_path],
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+        os.replace(build_path, lib_path)  # atomic vs concurrent builders
+        return lib_path
+    finally:
+        if lock_fd is not None:
+            try:
+                import fcntl
+
+                fcntl.flock(lock_fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            os.close(lock_fd)
+
+
+def load_shared_lib(source: str, cdef: str, stem: str):
+    """Build (or reuse) and dlopen a kernel; returns ``(lib, ffi)``.
+
+    Raises ``RuntimeError`` with a human-readable reason on any failure
+    (no cffi, no compiler, compile error) — callers cache the reason and
+    fall back to the pure engine.
+    """
     try:
         import cffi
 
-        cc = _find_compiler()
-        if cc is None:
-            raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
-        tag = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
-        tmp = tempfile.gettempdir()
-        ext = ".dylib" if sys.platform == "darwin" else ".so"
-        lib_path = os.path.join(tmp, f"repro_ckernel_{tag}{ext}")
-        if not os.path.exists(lib_path):
-            src_path = os.path.join(tmp, f"repro_ckernel_{tag}.c")
-            with open(src_path, "w") as f:
-                f.write(_C_SOURCE)
-            build_path = lib_path + f".build-{os.getpid()}"
-            subprocess.run(
-                [cc, "-O2", "-shared", "-fPIC", "-o", build_path, src_path],
-                check=True,
-                capture_output=True,
-                text=True,
-            )
-            os.replace(build_path, lib_path)  # atomic vs concurrent builders
+        lib_path = build_shared_lib(source, stem)
         ffi = cffi.FFI()
-        ffi.cdef(_CDEF)
+        ffi.cdef(cdef)
         lib = ffi.dlopen(lib_path)
-        _build_result = (lib, ffi)
-        return _build_result
+        return lib, ffi
     except Exception as exc:  # noqa: BLE001 - soft dependency by contract
         if isinstance(exc, subprocess.CalledProcessError):
             detail = (exc.stderr or "").strip().splitlines()
             reason = "kernel build failed: " + (detail[-1] if detail else str(exc))
         else:
             reason = f"kernel build failed: {exc}"
-        _build_result = reason
         raise RuntimeError(reason) from exc
+
+
+def _build_lib():
+    """Compile (or reuse) the select kernel; returns ``(lib, ffi)``."""
+    global _build_result
+    if _build_result is not None:
+        if isinstance(_build_result, str):
+            raise RuntimeError(_build_result)
+        return _build_result
+    try:
+        _build_result = load_shared_lib(_C_SOURCE, _CDEF, "repro_ckernel")
+        return _build_result
+    except RuntimeError as exc:
+        _build_result = str(exc)
+        raise
 
 
 _EMPTY: tuple = ()

@@ -44,6 +44,12 @@ demand with cffi (:mod:`repro.core.ckernel`).  The kernel is a soft
 dependency: when cffi or a C compiler is unavailable (or
 ``REPRO_NO_CKERNEL`` is set), the backend silently runs the pure-Python
 kernel and stays bit-identical.
+
+The ``cloop`` backend (:mod:`repro.core.cloop`) takes the final step:
+the *entire* loop below, transcribed to C, running bounded regions per
+FFI call instead of one phase per cycle.  The slot loop here doubles as
+its pure fallback and as the executable specification its transcription
+is checked against (the cross-backend identity suites).
 """
 
 from __future__ import annotations

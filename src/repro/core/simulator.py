@@ -7,6 +7,14 @@ until the first thread commits its whole trace — which is the standard
 multiprogram SMT methodology (all threads were co-running for every counted
 cycle, so per-thread IPCs are directly comparable against single-thread
 reference runs for the fairness metric).
+
+The engine behind the run is chosen by ``backend=`` /
+``REPRO_BACKEND`` (:mod:`repro.core.backends`); every backend serves
+this API bit-identically, including the whole-loop compiled engine
+(``cloop``), whose warmup and measurement phases each execute as
+bounded C regions with the observable counters exported at the phase
+boundaries this module drives (``reset_measurement``,
+``finalize_stats``).
 """
 
 from __future__ import annotations

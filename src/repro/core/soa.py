@@ -30,6 +30,13 @@ to index from CPython, and directly shareable with C via
 ``ffi.from_buffer`` without a copy.  The ``age`` column is additionally
 mirrored into a cffi ``int64`` buffer when a kernel is attached (built
 and rebuilt by the kernel's ``rebind``, kept in sync by the engine).
+
+These columns are also the marshalling layout of the whole-loop
+compiled engine (:mod:`repro.core.cloop`): its C kernel copies the
+:class:`TraceSoA` columns into C arrays once per context and runs the
+entire cycle loop over the same slot-pool representation, so the data
+model defined here is shared by every batched backend, interpreted or
+compiled.
 """
 
 from __future__ import annotations

@@ -71,15 +71,24 @@ FF_FACTOR = {"mem": 0.75, "mix": 0.85, "st": 0.95, "ilp": 1.0}
 #: (see benchmarks/results/engine_speed.json).  The batched slot-pool
 #: engine ("numpy") lands slightly behind vectorized on short-queue ILP
 #: runs and roughly even on stall-heavy ones; the compiled kernel
-#: ("compiled") recovers the gap where ready-queue scans dominate.
-#: Calibration refines this per bucket; only the relative order matters
-#: for LPT.
+#: ("compiled") recovers the gap where ready-queue scans dominate; the
+#: whole-loop kernel ("cloop") amortizes the FFI boundary over the whole
+#: run and lands well under the others (construction/marshal is most of
+#: what remains).  Calibration refines this per bucket; only the
+#: relative order matters for LPT.
 BACKEND_FACTOR = {
     "reference": 1.0,
     "vectorized": 0.55,
     "numpy": 0.60,
     "compiled": 0.58,
+    "cloop": 0.15,
 }
+
+#: Prior for engines registered after this table was written: assume the
+#: modern default's rate, not the reference interpreter's — a new engine
+#: is always at least as fast as vectorized, and a 2x-pessimistic prior
+#: would push its items to the front of every LPT schedule.
+_UNKNOWN_BACKEND_FACTOR = BACKEND_FACTOR["vectorized"]
 
 #: EWMA weight of a new observation against the bucket's current rate.
 ALPHA = 0.4
@@ -211,7 +220,7 @@ class CostModel:
             BASE_RATE
             * KIND_FACTOR.get(kind, 1.2)
             * POLICY_FACTOR.get(policy, 1.0)
-            * BACKEND_FACTOR.get(backend, 1.0)
+            * BACKEND_FACTOR.get(backend, _UNKNOWN_BACKEND_FACTOR)
         )
         if ff:
             rate *= FF_FACTOR.get(kind, 1.0)

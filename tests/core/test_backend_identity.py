@@ -215,13 +215,15 @@ def test_identical_under_pool_growth(config, backend, monkeypatch, ilp_trace,
     _assert_identical(ref, got)
 
 
-def test_identical_without_compiled_kernel(config, monkeypatch, ilp_trace, mem_trace):
-    """``REPRO_NO_CKERNEL`` forces the compiled backend onto its pure
-    fallback; behaviour must not change."""
+@pytest.mark.parametrize("backend", ["compiled", "cloop"])
+def test_identical_without_compiled_kernel(config, monkeypatch, ilp_trace, mem_trace,
+                                           backend):
+    """``REPRO_NO_CKERNEL`` forces the kernel-backed backends onto their
+    pure fallbacks; behaviour must not change."""
     traces = [ilp_trace, mem_trace]
     ref = _ref("stats|icount|True", config, "icount", traces, True)
     monkeypatch.setenv("REPRO_NO_CKERNEL", "1")
-    got = _run(config, "icount", traces, "compiled", True)
+    got = _run(config, "icount", traces, backend, True)
     _assert_identical(ref, got)
 
 
